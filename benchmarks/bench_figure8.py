@@ -1,0 +1,51 @@
+"""Experiment E2: regenerate Figure 8 (area-time product of adc_ctrl_fsm).
+
+Sweeps the target clock period for the unmodified module, the module with a
+redundancy-protected FSM (N=3) and the module with an SCFI-protected FSM
+(N=3), sizing each netlist to meet timing, and reports the area series.
+"""
+
+from __future__ import annotations
+
+from repro.eval.figure8 import PAPER_CLOCK_PERIODS_PS, run_figure8
+from repro.fsmlib.opentitan import opentitan_module_models
+
+#: The full 3300..6000 ps sweep of the paper.
+BENCH_PERIODS_PS = PAPER_CLOCK_PERIODS_PS
+
+
+def _adc_model():
+    return [m for m in opentitan_module_models() if m.fsm.name == "adc_ctrl_fsm"][0]
+
+
+def test_bench_figure8_sweep(benchmark, once):
+    result = once(
+        benchmark,
+        run_figure8,
+        _adc_model(),
+        protection_level=3,
+        clock_periods_ps=BENCH_PERIODS_PS,
+    )
+    print()
+    print(result.format())
+
+    # The paper's claim: SCFI achieves a better area-time product than redundancy.
+    for period in BENCH_PERIODS_PS:
+        by_config = {
+            p.configuration: p for p in result.points if p.target_period_ps == period
+        }
+        assert by_config["scfi"].area_kge < by_config["redundancy"].area_kge
+        assert by_config["scfi"].area_time_product < by_config["redundancy"].area_time_product
+
+
+def test_bench_figure8_relaxed_point(benchmark, once):
+    """Single-period variant: the relaxed 6 ns corner of the figure."""
+    result = once(
+        benchmark,
+        run_figure8,
+        _adc_model(),
+        protection_level=3,
+        clock_periods_ps=(6000,),
+    )
+    relaxed = {p.configuration: p.area_kge for p in result.points}
+    assert relaxed["base"] < relaxed["scfi"] < relaxed["redundancy"]

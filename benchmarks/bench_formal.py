@@ -1,0 +1,53 @@
+"""Experiment E3: the Section 6.4 formal fault analysis.
+
+Exhaustively flips every gate of the MDS diffusion layer of the 14-transition
+FSM (protected at N=2) for every state transition and counts the faults that
+hijack the control flow, mirroring the SYNFI experiment (paper: 32 of 7644
+injections, 0.42 %).  The default configuration runs the verify-and-repair
+extension and therefore reports zero hijack-capable faults; the unrepaired
+variant reproduces the paper-style shared network.
+"""
+
+from __future__ import annotations
+
+from repro.core.hardened import HardenedFsm
+from repro.core.structure import build_scfi_netlist
+from repro.eval.formal import PAPER_FORMAL_RESULT, run_formal_analysis
+from repro.fi.campaign import exhaustive_single_fault_campaign
+from repro.fsmlib.formal import formal_analysis_fsm
+
+
+def test_bench_formal_analysis_default(benchmark, once):
+    result = once(benchmark, run_formal_analysis)
+    print()
+    print(result.format())
+    assert result.transitions == 14
+    assert result.hijacks == 0  # verify-and-repair removes every hijack-capable node
+
+
+def test_bench_formal_analysis_unrepaired(benchmark, once):
+    """Paper-style shared diffusion without the repair extension."""
+
+    def campaign():
+        hardened = HardenedFsm.from_fsm(formal_analysis_fsm(), protection_level=2, error_bits=3)
+        structure = build_scfi_netlist(hardened, share_xors=True, repair_diffusion=False)
+        return exhaustive_single_fault_campaign(structure)
+
+    result = once(benchmark, campaign)
+    print()
+    print(result.format())
+    print(
+        f"paper reference: {PAPER_FORMAL_RESULT['hijacks']}/{PAPER_FORMAL_RESULT['injections']} "
+        f"({PAPER_FORMAL_RESULT['hijack_rate_percent']} %)"
+    )
+    # Without the repair pass a small fraction of shared nodes is hijack-capable,
+    # the same qualitative finding as the paper's 0.42 %.
+    assert result.hijack_rate < 0.15
+
+
+def test_bench_formal_analysis_stuck_at(benchmark, once):
+    """Extended effect model: stuck-at-0/1 in addition to transient flips."""
+    result = once(benchmark, run_formal_analysis, include_stuck_at=True)
+    print()
+    print(result.format())
+    assert result.injections == result.diffusion_gates * 14 * 3

@@ -1,0 +1,49 @@
+"""Tooling benchmarks: runtime of the protection passes themselves.
+
+Not a paper artefact, but relevant for adopting the pass in a real flow: how
+long does protecting a controller take, and how does it scale with FSM size
+and protection level?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.redundancy import RedundancyOptions, protect_fsm_redundant
+from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.fsmlib.opentitan import i2c_fsm, ibex_lsu_fsm, pwrmgr_fsm
+from repro.synth.lower import lower_fsm
+
+FSMS = {
+    "ibex_lsu": ibex_lsu_fsm,
+    "pwrmgr_fsm": pwrmgr_fsm,
+    "i2c_fsm": i2c_fsm,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FSMS))
+def test_bench_scfi_pass_runtime(benchmark, name):
+    fsm = FSMS[name]()
+    result = benchmark(
+        protect_fsm, fsm, ScfiOptions(protection_level=3, generate_verilog=False)
+    )
+    assert result.area.total_ge > 0
+
+
+@pytest.mark.parametrize("level", [2, 4])
+def test_bench_scfi_pass_scaling_with_level(benchmark, level):
+    fsm = pwrmgr_fsm()
+    result = benchmark(
+        protect_fsm, fsm, ScfiOptions(protection_level=level, generate_verilog=False)
+    )
+    assert result.hardened.protection_level == level
+
+
+def test_bench_redundancy_pass_runtime(benchmark):
+    result = benchmark(protect_fsm_redundant, i2c_fsm(), RedundancyOptions(protection_level=3))
+    assert result.area.total_ge > 0
+
+
+def test_bench_unprotected_lowering_runtime(benchmark):
+    implementation = benchmark(lower_fsm, i2c_fsm())
+    assert implementation.netlist.gates

@@ -1,0 +1,53 @@
+"""Experiment E4: the Section 6.3 probabilistic security evaluation.
+
+Monte-Carlo campaigns against the behavioural hardened FSM, split by fault
+target (FT1 state registers, FT2 encoded control signals, FT3 faults inside
+the hardened function), compared with the analytic success-probability bound.
+"""
+
+from __future__ import annotations
+
+from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.eval.security import attack_success_probability, fault_target_sweep, security_model
+from repro.fsmlib.opentitan import ibex_lsu_fsm
+
+
+def _hardened(level: int = 2):
+    return protect_fsm(
+        ibex_lsu_fsm(), ScfiOptions(protection_level=level, generate_netlist=False, generate_verilog=False)
+    ).hardened
+
+
+def test_bench_fault_target_sweep(benchmark, once):
+    hardened = _hardened()
+    sweep = once(benchmark, fault_target_sweep, hardened, 1, 3000)
+    print()
+    for target, campaign in sweep.items():
+        print(f"  {target:<15} {campaign.format()}")
+    # FT1/FT2 with a single fault can never hijack (Section 6.3's claim).
+    assert sweep["FT1_state"].hijacked == 0
+    assert sweep["FT2_control"].hijacked == 0
+
+
+def test_bench_attack_success_probability(benchmark, once):
+    hardened = _hardened()
+    result = once(benchmark, attack_success_probability, hardened, 2, 4000)
+    model = security_model(hardened)
+    print()
+    print(
+        f"  N={model.protection_level}: empirical hijack rate "
+        f"{result['empirical_hijack_rate']:.4f}, analytic bound {result['analytic_bound']:.2e}"
+    )
+    assert result["empirical_hijack_rate"] < 0.2
+
+
+def test_bench_multi_fault_scaling(benchmark, once):
+    """Hijack probability as the number of simultaneous faults grows."""
+    from repro.fi.behavioral import sweep_fault_counts
+
+    hardened = _hardened()
+    results = once(benchmark, sweep_fault_counts, hardened, (1, 2, 3, 4), 1500)
+    print()
+    for count, campaign in sorted(results.items()):
+        print(f"  {count} fault(s): {campaign.format()}")
+    assert results[1].hijacked == 0

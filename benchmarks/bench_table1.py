@@ -1,0 +1,36 @@
+"""Experiment E1: regenerate Table 1 (area overhead, redundancy vs SCFI).
+
+Synthesises the seven OpenTitan-like controllers unprotected, with N-fold
+redundancy and with SCFI for N in {2, 3, 4}, and reports the per-module and
+geometric-mean area overheads.  Run with ``-s`` to see the regenerated table::
+
+    pytest benchmarks/bench_table1.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.eval.table1 import PAPER_GEOMEANS, run_table1
+from repro.fsmlib.opentitan import opentitan_module_models
+
+
+def test_bench_table1_full(benchmark, once):
+    result = once(benchmark, run_table1, opentitan_module_models())
+    print()
+    print(result.format())
+    print()
+    print("paper geometric means:", PAPER_GEOMEANS)
+
+    # Sanity of the regenerated table: the paper's headline claims must hold.
+    for level in (3, 4):
+        assert result.geometric_mean("scfi", level) < result.geometric_mean("redundancy", level)
+    for row in result.rows:
+        assert row.redundancy_overhead[2] < row.redundancy_overhead[3] < row.redundancy_overhead[4]
+
+
+def test_bench_table1_single_module(benchmark, once):
+    """Smaller variant (adc_ctrl_fsm only), convenient for quick comparisons."""
+    models = [m for m in opentitan_module_models() if m.fsm.name == "adc_ctrl_fsm"]
+    result = once(benchmark, run_table1, models)
+    print()
+    print(result.format())
+    assert result.rows[0].scfi_overhead[3] < result.rows[0].redundancy_overhead[3]

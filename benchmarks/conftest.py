@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper's evaluation (see
+DESIGN.md, per-experiment index) and is run once per invocation --
+synthesising seven controllers or sweeping a clock period is not a
+micro-benchmark, so rounds/iterations are pinned to one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

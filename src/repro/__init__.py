@@ -1,0 +1,35 @@
+"""SCFI reproduction: state machine control-flow hardening against fault attacks.
+
+The package is organised as a small EDA stack:
+
+* :mod:`repro.linalg`   -- GF(2) linear algebra (bit matrices, solving).
+* :mod:`repro.fields`   -- polynomial rings F2[X]/(p) used by the diffusion layer.
+* :mod:`repro.fsm`      -- finite-state machine model, CFG analysis, encodings.
+* :mod:`repro.rtl`      -- RTLIL-like intermediate representation and Verilog I/O.
+* :mod:`repro.netlist`  -- gate-level netlist, cell library, simulation, timing.
+* :mod:`repro.synth`    -- synthesis flow (lowering, optimisation, sizing).
+* :mod:`repro.core`     -- the SCFI contribution: MDS diffusion, modifier solving,
+  the hardened next-state function and the protection passes.
+* :mod:`repro.fi`       -- SYNFI-like fault injection and campaign analysis.
+* :mod:`repro.fsmlib`   -- OpenTitan-like benchmark FSMs.
+* :mod:`repro.eval`     -- harnesses regenerating the paper's tables and figures.
+"""
+
+from repro.fsm.model import Fsm, Transition, Signal, Guard
+from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.core.redundancy import RedundancyOptions, protect_fsm_redundant
+from repro.core.hardened import HardenedFsm
+
+__all__ = [
+    "Fsm",
+    "Transition",
+    "Signal",
+    "Guard",
+    "ScfiOptions",
+    "protect_fsm",
+    "RedundancyOptions",
+    "protect_fsm_redundant",
+    "HardenedFsm",
+]
+
+__version__ = "0.1.0"

@@ -1,0 +1,54 @@
+"""``scfi-fi``: run fault-injection campaigns against a protected benchmark FSM."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.harden import FSM_REGISTRY
+from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.fi.behavioral import behavioral_fault_campaign
+from repro.fi.campaign import exhaustive_single_fault_campaign, random_multi_fault_campaign
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description="Fault-injection campaigns on SCFI-protected FSMs")
+    parser.add_argument("--fsm", choices=sorted(FSM_REGISTRY), default="formal_fsm")
+    parser.add_argument("-N", "--protection-level", type=int, default=2)
+    parser.add_argument(
+        "--mode",
+        choices=["exhaustive", "random", "behavioral"],
+        default="exhaustive",
+        help="exhaustive single faults on the diffusion layer, random gate-level "
+        "multi-fault sampling, or fast behavioural input-fault sampling",
+    )
+    parser.add_argument("--faults", type=int, default=2, help="simultaneous faults (random/behavioral)")
+    parser.add_argument("--trials", type=int, default=1000, help="trials (random/behavioral)")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    fsm = FSM_REGISTRY[args.fsm]()
+    result = protect_fsm(
+        fsm, ScfiOptions(protection_level=args.protection_level, generate_verilog=False)
+    )
+    if args.mode == "exhaustive":
+        campaign = exhaustive_single_fault_campaign(result.structure)
+        print(campaign.format())
+    elif args.mode == "random":
+        campaign = random_multi_fault_campaign(
+            result.structure, num_faults=args.faults, trials=args.trials, seed=args.seed
+        )
+        print(campaign.format())
+    else:
+        campaign = behavioral_fault_campaign(
+            result.hardened, num_faults=args.faults, trials=args.trials, seed=args.seed
+        )
+        print(campaign.format())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

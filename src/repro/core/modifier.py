@@ -1,0 +1,143 @@
+"""Per-transition modifier computation (requirement R4).
+
+The hardened next-state function must map every valid ``{S_Ce, X_e}`` pair of
+a CFG edge onto the encoded next state of that edge, even when several edges
+converge on the same state.  SCFI achieves this with a per-edge *modifier*
+absorbed alongside the state and control shares.  Because the diffusion layer
+is linear over GF(2), the modifier is the solution of a linear system:
+
+    M_mod @ mod = target  XOR  M_state @ sc  XOR  M_control @ xe
+
+restricted to the output bits selected by the block layout (the next-state
+slice, which must equal the target state bits, and the error bits, which must
+read all-ones).  The layout planner selected modifier columns forming an
+invertible square system, so the solution exists, is unique, and is obtained
+with a single precomputed matrix inverse per block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.layout import (
+    BLOCK_BITS,
+    CONTROL_SHARE_BITS,
+    STATE_SHARE_BITS,
+    BlockLayout,
+    HardenedLayout,
+)
+from repro.linalg import BitMatrix, gf2_inverse
+
+
+class ModifierSolver:
+    """Solves for the per-edge modifiers of a hardened layout."""
+
+    def __init__(self, layout: HardenedLayout):
+        self.layout = layout
+        self._state_matrix: Dict[int, BitMatrix] = {}
+        self._control_matrix: Dict[int, BitMatrix] = {}
+        self._modifier_inverse: Dict[int, BitMatrix] = {}
+        bit_matrix = layout.bit_matrix
+        state_cols = list(range(0, STATE_SHARE_BITS))
+        control_cols = list(range(STATE_SHARE_BITS, STATE_SHARE_BITS + CONTROL_SHARE_BITS))
+        for block in layout.blocks:
+            rows = block.target_positions
+            self._state_matrix[block.index] = bit_matrix.submatrix(rows, state_cols)
+            self._control_matrix[block.index] = bit_matrix.submatrix(rows, control_cols)
+            if rows:
+                square = bit_matrix.submatrix(rows, block.modifier_in_positions)
+                inverse = gf2_inverse(square)
+                if inverse is None:
+                    raise ValueError(
+                        f"modifier system for block {block.index} is singular; "
+                        "the layout planner should have prevented this"
+                    )
+                self._modifier_inverse[block.index] = inverse
+
+    # ------------------------------------------------------------------
+    def solve_block(
+        self,
+        block: BlockLayout,
+        current_state_code: int,
+        control_code: int,
+        next_state_code: int,
+    ) -> int:
+        """Modifier word (full 16-bit value, effective bits only) for one block."""
+        if not block.target_positions:
+            return 0
+        state_share = self._share_bits(current_state_code, block.state_in_bits, STATE_SHARE_BITS)
+        control_share = self._share_bits(control_code, block.control_in_bits, CONTROL_SHARE_BITS)
+
+        target_bits: List[int] = [
+            (next_state_code >> global_bit) & 1 for global_bit in block.state_out_bits
+        ] + [1] * len(block.error_out_positions)
+
+        contribution_state = self._state_matrix[block.index].multiply_vector(state_share)
+        contribution_control = self._control_matrix[block.index].multiply_vector(control_share)
+        rhs = [
+            t ^ s ^ c
+            for t, s, c in zip(target_bits, contribution_state, contribution_control)
+        ]
+        solution = self._modifier_inverse[block.index].multiply_vector(rhs)
+        modifier = 0
+        modifier_base = STATE_SHARE_BITS + CONTROL_SHARE_BITS
+        for position, bit in zip(block.modifier_in_positions, solution):
+            modifier |= (bit & 1) << (position - modifier_base)
+        return modifier
+
+    def solve_edge(
+        self,
+        current_state_code: int,
+        control_code: int,
+        next_state_code: int,
+    ) -> List[int]:
+        """Modifiers for every block of the layout, in block order."""
+        return [
+            self.solve_block(block, current_state_code, control_code, next_state_code)
+            for block in self.layout.blocks
+        ]
+
+    # ------------------------------------------------------------------
+    def evaluate_block(
+        self,
+        block: BlockLayout,
+        current_state_code: int,
+        control_code: int,
+        modifier: int,
+        input_fault_mask: int = 0,
+        output_fault_mask: int = 0,
+    ) -> List[int]:
+        """Run one block of the diffusion layer and return its 32 output bits.
+
+        ``input_fault_mask`` flips the selected input bits before diffusion and
+        ``output_fault_mask`` flips output bits after it; this is how the
+        behavioural fault campaigns model FT1/FT2/FT3 faults.
+        """
+        input_bits = self.layout.block_input_bits(block, current_state_code, control_code, modifier)
+        if input_fault_mask:
+            input_bits = [
+                bit ^ ((input_fault_mask >> position) & 1)
+                for position, bit in enumerate(input_bits)
+            ]
+        output_bits = self.layout.bit_matrix.multiply_vector(input_bits)
+        if output_fault_mask:
+            output_bits = [
+                bit ^ ((output_fault_mask >> position) & 1)
+                for position, bit in enumerate(output_bits)
+            ]
+        return output_bits
+
+    def extract_outputs(self, block: BlockLayout, output_bits: List[int]) -> Dict[str, int]:
+        """Split raw block outputs into the next-state slice and the error bits."""
+        state_slice = 0
+        for global_bit, position in zip(block.state_out_bits, block.state_out_positions):
+            state_slice |= (output_bits[position] & 1) << global_bit
+        error_value = [output_bits[p] & 1 for p in block.error_out_positions]
+        return {"state_slice": state_slice, "error_bits_ok": int(all(error_value))}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _share_bits(code: int, bit_indices: List[int], width: int) -> List[int]:
+        share = [(code >> bit) & 1 for bit in bit_indices]
+        share.extend([0] * (width - len(share)))
+        return share

@@ -1,0 +1,64 @@
+"""The redundancy baseline the paper compares against (Section 6.1).
+
+The classical manual countermeasure instantiates the next-state logic and the
+state register ``N`` times and raises an alert when any two state registers
+disagree.  Each additional instance protects against exactly one additional
+fault, which is why its area grows linearly with the protection level -- the
+scaling SCFI improves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fsm.model import Fsm
+from repro.netlist.area import AreaReport, area_report
+from repro.netlist.netlist import Netlist
+from repro.synth.lower import FsmNetlist, lower_fsm_redundant
+
+
+@dataclass
+class RedundancyOptions:
+    """Configuration of the redundancy baseline.
+
+    ``protection_level`` is the paper's ``N``: the total number of next-state
+    logic / state register instances.
+    """
+
+    protection_level: int = 2
+
+    def __post_init__(self) -> None:
+        if self.protection_level < 1:
+            raise ValueError("protection_level must be >= 1")
+
+
+@dataclass
+class RedundancyResult:
+    """The redundant implementation of one FSM."""
+
+    fsm: Fsm
+    options: RedundancyOptions
+    implementation: FsmNetlist
+    _area: Optional[AreaReport] = field(default=None, repr=False)
+
+    @property
+    def netlist(self) -> Netlist:
+        return self.implementation.netlist
+
+    @property
+    def area(self) -> AreaReport:
+        if self._area is None:
+            self._area = area_report(self.implementation.netlist)
+        return self._area
+
+    @property
+    def error_net(self) -> str:
+        return self.implementation.error_net
+
+
+def protect_fsm_redundant(fsm: Fsm, options: Optional[RedundancyOptions] = None) -> RedundancyResult:
+    """Build the ``N``-fold redundant implementation of ``fsm``."""
+    options = options or RedundancyOptions()
+    implementation = lower_fsm_redundant(fsm, copies=options.protection_level)
+    return RedundancyResult(fsm=fsm, options=options, implementation=implementation)

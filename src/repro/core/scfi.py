@@ -1,0 +1,120 @@
+"""The SCFI protection pass: the user-facing entry point of the library.
+
+``protect_fsm`` mirrors the Yosys pass described in Section 5 of the paper:
+given an arbitrary FSM and a protection level ``N`` it
+
+1. re-encodes the states with a Hamming distance of ``N`` (R2),
+2. assigns distance-``N`` control codewords to every CFG edge (R1),
+3. plans the Mix/Diffusion/Unmix layout and computes the per-edge modifiers
+   through the MDS matrix (R3/R4),
+4. emits the behavioural :class:`~repro.core.hardened.HardenedFsm`,
+   the gate-level netlist, and a SystemVerilog view of the protected
+   next-state process (Figure 4 style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.hardened import HardenedFsm
+from repro.core.mds import WordMatrix
+from repro.core.structure import ScfiNetlist, build_scfi_netlist
+from repro.fsm.model import Fsm
+from repro.netlist.area import AreaReport, area_report
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class ScfiOptions:
+    """Configuration of the SCFI pass.
+
+    Attributes:
+        protection_level: the paper's ``N`` -- an attacker needs at least ``N``
+            bit flips to move between valid codewords.
+        error_bits: error-detection bits per diffusion block (the paper's
+            ``e`` in the Unmix layer).
+        matrix: MDS matrix override; the verified default is used when None.
+        share_xors: apply Paar common-subexpression sharing to the diffusion
+            network (disabling it is used by the ablation benchmarks).
+        repair_diffusion: run the verify-and-repair analysis that removes
+            single-fault hijack-capable shared XOR nodes from the diffusion
+            blocks (the "integrate the formal analysis into the pass"
+            extension the paper lists as future work).
+        generate_netlist: also produce the structural gate-level netlist.
+        generate_verilog: also produce the SystemVerilog view.
+    """
+
+    protection_level: int = 2
+    error_bits: int = 3
+    matrix: Optional[WordMatrix] = None
+    share_xors: bool = True
+    repair_diffusion: bool = True
+    generate_netlist: bool = True
+    generate_verilog: bool = True
+
+    def __post_init__(self) -> None:
+        if self.protection_level < 1:
+            raise ValueError("protection_level must be >= 1")
+        if self.error_bits < 0:
+            raise ValueError("error_bits must be >= 0")
+
+
+@dataclass
+class ScfiResult:
+    """Everything the pass produced for one FSM."""
+
+    fsm: Fsm
+    options: ScfiOptions
+    hardened: HardenedFsm
+    structure: Optional[ScfiNetlist] = None
+    verilog: Optional[str] = None
+    _area: Optional[AreaReport] = field(default=None, repr=False)
+
+    @property
+    def netlist(self) -> Optional[Netlist]:
+        return self.structure.netlist if self.structure else None
+
+    @property
+    def area(self) -> AreaReport:
+        """Area of the protected FSM netlist (computed on first use)."""
+        if self.structure is None:
+            raise ValueError("the pass was run with generate_netlist=False")
+        if self._area is None:
+            self._area = area_report(self.structure.netlist)
+        return self._area
+
+    @property
+    def state_width(self) -> int:
+        return self.hardened.state_width
+
+    @property
+    def num_diffusion_blocks(self) -> int:
+        return self.hardened.layout.num_blocks
+
+
+def protect_fsm(fsm: Fsm, options: Optional[ScfiOptions] = None) -> ScfiResult:
+    """Protect ``fsm`` with SCFI and return the behavioural and structural views."""
+    options = options or ScfiOptions()
+    hardened = HardenedFsm.from_fsm(
+        fsm,
+        protection_level=options.protection_level,
+        error_bits=options.error_bits,
+        matrix=options.matrix,
+    )
+    structure = (
+        build_scfi_netlist(
+            hardened,
+            share_xors=options.share_xors,
+            repair_diffusion=options.repair_diffusion,
+        )
+        if options.generate_netlist
+        else None
+    )
+    verilog = None
+    if options.generate_verilog:
+        # Imported lazily: the emitter is an optional convenience view.
+        from repro.rtl.verilog_writer import emit_protected_fsm
+
+        verilog = emit_protected_fsm(hardened)
+    return ScfiResult(fsm=fsm, options=options, hardened=hardened, structure=structure, verilog=verilog)

@@ -1,0 +1,342 @@
+"""Structural (gate-level) generation of SCFI-protected FSMs.
+
+This is the netlist-producing half of the protection pass (Figure 7 of the
+paper): input pattern matching on the encoded control signals, modifier
+selection, the mix wiring, the MDS diffusion blocks realised as shared-XOR
+networks, the unmix selection and the infective error masking, all feeding the
+widened (distance-``N``) state register.
+
+The generated netlist is what the area/timing evaluation (Table 1, Figure 8)
+measures and what the SYNFI-like fault campaigns (Section 6.4) inject into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.hardened import HardenedFsm, HardenedTransition
+from repro.core.layout import BLOCK_BITS, CONTROL_SHARE_BITS, STATE_SHARE_BITS
+from repro.core.xor_synth import XorNetwork, synthesize_xor_network
+from repro.fsm.model import Fsm, Guard
+from repro.linalg import BitMatrix
+from repro.netlist.builder import Bits, NetlistBuilder
+from repro.netlist.gates import Gate, GateType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class ScfiNetlist:
+    """The protected netlist plus the handles campaigns and tests need."""
+
+    hardened: HardenedFsm
+    netlist: Netlist
+    state_q: List[str]
+    state_d: List[str]
+    #: Raw FSM input signal name -> encoded input nets (width x N, repetition code).
+    input_bits: Dict[str, List[str]]
+    #: Nets of the selected (active) encoded control word feeding the mix layer.
+    control_nets: List[str]
+    #: Nets of the selected modifier bits, keyed by (block index, input position).
+    modifier_nets: Dict[Tuple[int, int], str]
+    #: Per-edge one-hot match nets, keyed by (src state, edge index).
+    match_nets: Dict[Tuple[str, int], str]
+    #: Output nets of every XOR gate inside the diffusion blocks (FT3 targets).
+    diffusion_nets: List[str]
+    #: Net that is 1 while the error-detection bits read all-ones.
+    error_ok_net: str
+    #: Alert primary output (1 when the current state is not a valid codeword).
+    alert_net: str
+    #: Per-block output nets for the next-state slice bits (global bit -> net).
+    next_state_nets: Dict[int, str] = field(default_factory=dict)
+
+    def encode_inputs(self, values: Dict[str, int]) -> Dict[str, int]:
+        """Expand raw input values into the encoded (repetition-code) input nets."""
+        replication = self.hardened.protection_level
+        assignment: Dict[str, int] = {}
+        for signal in self.hardened.fsm.inputs:
+            value = int(values.get(signal.name, 0))
+            nets = self.input_bits[signal.name]
+            for original_bit in range(signal.width):
+                bit_value = (value >> original_bit) & 1
+                for replica in range(replication):
+                    assignment[nets[original_bit * replication + replica]] = bit_value
+        return assignment
+
+
+def _encoded_guard_constant(value: int, width: int, replication: int) -> int:
+    """Repetition-code encoding of a guard constant."""
+    encoded = 0
+    for bit in range(width):
+        if (value >> bit) & 1:
+            for replica in range(replication):
+                encoded |= 1 << (bit * replication + replica)
+    return encoded
+
+
+def _guard_condition(
+    builder: NetlistBuilder,
+    fsm: Fsm,
+    guard: Guard,
+    input_bits: Dict[str, List[str]],
+    replication: int,
+) -> str:
+    """Condition net for a guard evaluated on the encoded control signals."""
+    if guard.is_true:
+        return builder.const_bit(1)
+    terms = []
+    for name, value in guard.terms:
+        signal = fsm.input_signal(name)
+        encoded_value = _encoded_guard_constant(value, signal.width, replication)
+        terms.append(builder.eq_const(input_bits[name], encoded_value))
+    return builder.and_tree(terms)
+
+
+def _harden_diffusion_network(
+    network: XorNetwork,
+    reduced_matrix: BitMatrix,
+    state_out_bits: List[int],
+    valid_codes: List[int],
+) -> int:
+    """Verify-and-repair pass over one diffusion block (pre-silicon analysis
+    folded into synthesis, the extension Section 7 of the paper sketches).
+
+    An internal XOR node is *hijack-capable* when a single fault on it flips a
+    set of next-state bits that equals the difference of two valid codewords
+    while leaving every error bit untouched -- exactly the faults the SYNFI
+    experiment of Section 6.4 counts as successful.  Every such node is
+    defused by recomputing one of the affected state outputs as a private
+    (unshared) XOR chain, which the analysis then re-checks.  Returns the
+    number of repairs performed.
+    """
+    num_state = len(state_out_bits)
+    state_mask_all = (1 << num_state) - 1
+    differences = {a ^ b for a in valid_codes for b in valid_codes if a != b}
+    repairs = 0
+    for _ in range(4 * max(1, num_state)):
+        hijackable_output = None
+        for signal in network.internal_signals():
+            mask = network.fault_sensitivity(signal)
+            state_mask = mask & state_mask_all
+            error_mask = mask >> num_state
+            if error_mask or not state_mask:
+                continue
+            global_mask = 0
+            for local, global_bit in enumerate(state_out_bits):
+                if (state_mask >> local) & 1:
+                    global_mask |= 1 << global_bit
+            if global_mask in differences:
+                hijackable_output = (state_mask & -state_mask).bit_length() - 1
+                break
+        if hijackable_output is None:
+            break
+        network.rebuild_output_unshared(reduced_matrix.row(hijackable_output), hijackable_output)
+        repairs += 1
+    network.prune_dead_ops()
+    return repairs
+
+
+def _instantiate_xor_network(
+    builder: NetlistBuilder,
+    network: XorNetwork,
+    input_nets: List[str],
+    prefix: str,
+) -> Tuple[List[str], List[str]]:
+    """Instantiate a shared-XOR network; returns (output nets, internal nets)."""
+    signal_net: Dict[int, str] = {i: net for i, net in enumerate(input_nets)}
+    signal_net[-1] = builder.const_bit(0)
+    internal: List[str] = []
+    for op in network.ops:
+        net = builder.gate(GateType.XOR2, [signal_net[op.left], signal_net[op.right]], prefix)
+        signal_net[op.result] = net
+        internal.append(net)
+    outputs = [signal_net[o] for o in network.outputs]
+    return outputs, internal
+
+
+def build_scfi_netlist(
+    hardened: HardenedFsm,
+    share_xors: bool = True,
+    repair_diffusion: bool = True,
+) -> ScfiNetlist:
+    """Generate the gate-level netlist of an SCFI-protected FSM.
+
+    ``share_xors`` applies Paar common-subexpression sharing to the diffusion
+    blocks; ``repair_diffusion`` runs the verify-and-repair analysis that
+    removes single-fault hijack-capable shared nodes (see
+    :func:`_harden_diffusion_network`).
+    """
+    fsm = hardened.fsm
+    layout = hardened.layout
+    replication = hardened.protection_level
+    builder = NetlistBuilder(f"{fsm.name}_scfi{replication}")
+
+    # ------------------------------------------------------------------
+    # Ports: encoded control signals arrive from the driving modules (R1).
+    # ------------------------------------------------------------------
+    input_bits: Dict[str, List[str]] = {
+        sig.name: builder.add_input(f"{sig.name}_enc", sig.width * replication)
+        for sig in fsm.inputs
+    }
+
+    # Encoded state register (feedback created below).
+    state_width = hardened.state_width
+    state_d = [f"state_d[{i}]" for i in range(state_width)]
+    state_q = []
+    for i, d_net in enumerate(state_d):
+        q_net = f"state_q[{i}]"
+        builder.netlist.add_gate(
+            Gate(name=f"dff_state_{i}", gate_type=GateType.DFF, inputs=[d_net], output=q_net)
+        )
+        state_q.append(q_net)
+
+    # ------------------------------------------------------------------
+    # 1  Input pattern matching: per-state select and per-edge match signals.
+    # ------------------------------------------------------------------
+    state_select: Dict[str, str] = {
+        state: builder.eq_const(state_q, hardened.state_encoding[state]) for state in fsm.states
+    }
+    error_select = builder.eq_const(state_q, hardened.error_code)
+    operational = builder.or_tree(list(state_select.values()))
+    valid_state = builder.or_(operational, error_select)
+    alert = builder.not_(valid_state)
+
+    match_nets: Dict[Tuple[str, int], str] = {}
+    for state in fsm.states:
+        edges = sorted(
+            (t for t in hardened.transitions.values() if t.edge.src == state),
+            key=lambda t: t.edge.index,
+        )
+        prior: Optional[str] = None
+        for transition in edges:
+            edge = transition.edge
+            if edge.is_stay:
+                condition = builder.const_bit(1)
+            else:
+                condition = _guard_condition(builder, fsm, edge.guard, input_bits, replication)
+            if prior is None:
+                take = condition
+                prior = condition
+            else:
+                take = builder.and_(condition, builder.not_(prior))
+                prior = builder.or_(prior, condition)
+            match_nets[(state, edge.index)] = builder.and_(state_select[state], take)
+
+    # ------------------------------------------------------------------
+    # 2  Modifier / active-control selection (one-hot AND-OR crossbar).
+    # ------------------------------------------------------------------
+    ordered_transitions: List[HardenedTransition] = [
+        hardened.transitions[key] for key in sorted(hardened.transitions, key=lambda k: (k[0], k[1]))
+    ]
+
+    def onehot_constant_bit(bit_of: Dict[Tuple[str, int], int]) -> str:
+        """OR of the match nets whose per-edge constant has this bit set."""
+        active = [match_nets[key] for key, bit in bit_of.items() if bit]
+        if not active:
+            return builder.const_bit(0)
+        return builder.or_tree(active)
+
+    control_nets: List[str] = []
+    for bit in range(hardened.control_width):
+        control_nets.append(
+            onehot_constant_bit(
+                {t.key: (t.control_code >> bit) & 1 for t in ordered_transitions}
+            )
+        )
+
+    modifier_nets: Dict[Tuple[int, int], str] = {}
+    modifier_base = STATE_SHARE_BITS + CONTROL_SHARE_BITS
+    for block in layout.blocks:
+        for position in block.modifier_in_positions:
+            relative = position - modifier_base
+            modifier_nets[(block.index, position)] = onehot_constant_bit(
+                {
+                    t.key: (t.modifiers[block.index] >> relative) & 1
+                    for t in ordered_transitions
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # 3/4/5  Mix wiring, diffusion blocks, unmix selection.
+    # ------------------------------------------------------------------
+    const0 = builder.const_bit(0)
+    next_state_nets: Dict[int, str] = {}
+    error_bit_nets: List[str] = []
+    diffusion_nets: List[str] = []
+
+    for block in layout.blocks:
+        block_inputs: List[str] = [const0] * BLOCK_BITS
+        for position, global_bit in enumerate(block.state_in_bits):
+            block_inputs[position] = state_q[global_bit]
+        for position, global_bit in enumerate(block.control_in_bits):
+            block_inputs[STATE_SHARE_BITS + position] = control_nets[global_bit]
+        for position in block.modifier_in_positions:
+            block_inputs[position] = modifier_nets[(block.index, position)]
+
+        needed_rows = block.target_positions
+        if not needed_rows:
+            continue
+        # Constant propagation: input columns tied to constant zero (unused
+        # state/control share bits and ineffective modifier positions) cannot
+        # contribute to any XOR, so they are dropped before network synthesis.
+        active_columns = [
+            column for column in range(BLOCK_BITS) if block_inputs[column] != const0
+        ]
+        reduced = BitMatrix(
+            [[layout.bit_matrix.row(row)[column] for column in active_columns] for row in needed_rows]
+        )
+        network = synthesize_xor_network(reduced, share=share_xors)
+        if repair_diffusion and share_xors:
+            _harden_diffusion_network(
+                network, reduced, block.state_out_bits, list(hardened.state_encoding.values())
+            )
+        outputs, internal = _instantiate_xor_network(
+            builder, network, [block_inputs[column] for column in active_columns], f"mds{block.index}"
+        )
+        diffusion_nets.extend(internal)
+        for local_index, global_bit in enumerate(block.state_out_bits):
+            next_state_nets[global_bit] = outputs[local_index]
+        error_bit_nets.extend(outputs[len(block.state_out_bits):])
+
+    # ------------------------------------------------------------------
+    # 6  Error logic: infective AND masking plus the terminal error default.
+    # ------------------------------------------------------------------
+    error_ok = builder.and_tree(error_bit_nets) if error_bit_nets else builder.const_bit(1)
+    infected = [
+        builder.and_(next_state_nets[bit], error_ok) for bit in range(state_width)
+    ]
+    error_code_word = builder.const_word(hardened.error_code, state_width)
+    next_word = builder.mux_word(error_code_word, infected, operational)
+    for d_net, bit_net in zip(state_d, next_word):
+        builder.drive(d_net, bit_net)
+
+    # Moore output logic on the encoded state.
+    for signal in fsm.outputs:
+        bits: List[str] = []
+        for bit_index in range(signal.width):
+            active = [
+                state_select[state]
+                for state in fsm.states
+                if (fsm.moore_output(state).get(signal.name, 0) >> bit_index) & 1
+            ]
+            bits.append(builder.or_tree(active) if active else builder.const_bit(0))
+        builder.add_output(bits, signal.name)
+
+    alert_po = builder.add_output([alert], "fsm_alert")[0]
+    builder.add_output(state_q, "state_o")
+
+    builder.netlist.validate()
+    return ScfiNetlist(
+        hardened=hardened,
+        netlist=builder.netlist,
+        state_q=state_q,
+        state_d=state_d,
+        input_bits=input_bits,
+        control_nets=control_nets,
+        modifier_nets=modifier_nets,
+        match_nets=match_nets,
+        diffusion_nets=diffusion_nets,
+        error_ok_net=error_ok,
+        alert_net=alert_po,
+        next_state_nets=next_state_nets,
+    )

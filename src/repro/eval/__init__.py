@@ -1,0 +1,20 @@
+"""Evaluation harnesses regenerating the paper's tables and figures."""
+
+from repro.eval.table1 import Table1Row, Table1Result, run_table1, PAPER_TABLE1
+from repro.eval.figure8 import Figure8Point, Figure8Result, run_figure8
+from repro.eval.formal import FormalAnalysisResult, run_formal_analysis
+from repro.eval.security import SecurityModel, attack_success_probability
+
+__all__ = [
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "PAPER_TABLE1",
+    "Figure8Point",
+    "Figure8Result",
+    "run_figure8",
+    "FormalAnalysisResult",
+    "run_formal_analysis",
+    "SecurityModel",
+    "attack_success_probability",
+]

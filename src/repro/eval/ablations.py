@@ -1,0 +1,134 @@
+"""Ablation studies for the design choices the paper discusses.
+
+Two knobs of SCFI are explicitly called out as tunable:
+
+* the MDS matrix (Section 5.1: "the choice of MDS matrix can be changed
+  according to design requirements") -- :func:`mds_matrix_ablation` compares
+  the XOR cost, logic depth and resulting protected-FSM area of every verified
+  candidate matrix;
+* the number of error-detection bits ``e`` per block (Section 4, Unmix layer)
+  -- :func:`error_bits_ablation` sweeps ``e`` and reports both the area cost
+  and the detection rate of a behavioural random-fault campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.hardened import HardenedFsm
+from repro.core.mds import WordMatrix, candidate_matrices
+from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.core.xor_synth import synthesize_xor_network
+from repro.fields import WordRing
+from repro.fi.behavioral import TARGET_DIFFUSION, behavioral_fault_campaign
+from repro.fsm.model import Fsm
+from repro.netlist.area import area_report
+
+
+@dataclass
+class MdsAblationRow:
+    """Cost metrics of one candidate diffusion matrix."""
+
+    name: str
+    is_mds: bool
+    naive_xor_count: int
+    shared_xor_count: int
+    xor_depth: int
+    protected_area_ge: Optional[float] = None
+
+
+def mds_matrix_ablation(
+    fsm: Optional[Fsm] = None,
+    protection_level: int = 2,
+    ring: Optional[WordRing] = None,
+) -> List[MdsAblationRow]:
+    """Compare every candidate matrix; optionally synthesise a protected FSM with each."""
+    ring = ring or WordRing()
+    rows: List[MdsAblationRow] = []
+    for name, matrix in candidate_matrices(ring):
+        is_mds = matrix.is_mds()
+        network = synthesize_xor_network(matrix.to_bit_matrix(), share=True)
+        row = MdsAblationRow(
+            name=name,
+            is_mds=is_mds,
+            naive_xor_count=matrix.naive_xor_count(),
+            shared_xor_count=network.xor_count,
+            xor_depth=network.depth(),
+        )
+        if fsm is not None and is_mds:
+            result = protect_fsm(
+                fsm,
+                ScfiOptions(
+                    protection_level=protection_level,
+                    matrix=matrix,
+                    generate_verilog=False,
+                ),
+            )
+            row.protected_area_ge = area_report(result.netlist).total_ge
+        rows.append(row)
+    return rows
+
+
+@dataclass
+class ErrorBitsAblationRow:
+    """Area and detection metrics for one error-bit count."""
+
+    error_bits: int
+    protected_area_ge: float
+    detection_rate: float
+    hijack_rate: float
+
+
+def error_bits_ablation(
+    fsm: Fsm,
+    protection_level: int = 2,
+    error_bit_counts: Sequence[int] = (0, 1, 2, 4),
+    trials: int = 1000,
+    num_faults: int = 2,
+    seed: int = 0,
+) -> List[ErrorBitsAblationRow]:
+    """Sweep the per-block error-bit count ``e`` of the Unmix layer."""
+    rows: List[ErrorBitsAblationRow] = []
+    for error_bits in error_bit_counts:
+        result = protect_fsm(
+            fsm,
+            ScfiOptions(
+                protection_level=protection_level,
+                error_bits=error_bits,
+                generate_verilog=False,
+            ),
+        )
+        campaign = behavioral_fault_campaign(
+            result.hardened,
+            num_faults=num_faults,
+            trials=trials,
+            targets=(TARGET_DIFFUSION,),
+            seed=seed,
+        )
+        rows.append(
+            ErrorBitsAblationRow(
+                error_bits=error_bits,
+                protected_area_ge=area_report(result.netlist).total_ge,
+                detection_rate=campaign.detection_rate,
+                hijack_rate=campaign.hijack_rate,
+            )
+        )
+    return rows
+
+
+def xor_sharing_ablation(ring: Optional[WordRing] = None) -> Dict[str, Dict[str, int]]:
+    """Effect of Paar sharing on the diffusion network (used by a benchmark)."""
+    ring = ring or WordRing()
+    results: Dict[str, Dict[str, int]] = {}
+    for name, matrix in candidate_matrices(ring):
+        bit_matrix = matrix.to_bit_matrix()
+        naive = synthesize_xor_network(bit_matrix, share=False)
+        shared = synthesize_xor_network(bit_matrix, share=True)
+        results[name] = {
+            "naive_xors": naive.xor_count,
+            "shared_xors": shared.xor_count,
+            "naive_depth": naive.depth(),
+            "shared_depth": shared.depth(),
+        }
+    return results

@@ -1,0 +1,27 @@
+"""SYNFI-like fault injection and campaign analysis."""
+
+from repro.fi.model import Fault, FaultEffect, FaultOutcome, Classification
+from repro.fi.activate import activating_inputs
+from repro.fi.injector import ScfiFaultInjector, UnprotectedFaultInjector, RedundantFaultInjector
+from repro.fi.campaign import (
+    CampaignResult,
+    exhaustive_single_fault_campaign,
+    random_multi_fault_campaign,
+)
+from repro.fi.behavioral import behavioral_fault_campaign, BehavioralCampaignResult
+
+__all__ = [
+    "Fault",
+    "FaultEffect",
+    "FaultOutcome",
+    "Classification",
+    "activating_inputs",
+    "ScfiFaultInjector",
+    "UnprotectedFaultInjector",
+    "RedundantFaultInjector",
+    "CampaignResult",
+    "exhaustive_single_fault_campaign",
+    "random_multi_fault_campaign",
+    "behavioral_fault_campaign",
+    "BehavioralCampaignResult",
+]

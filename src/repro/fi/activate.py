@@ -1,0 +1,97 @@
+"""Computation of input assignments that activate a specific CFG edge.
+
+Exhaustive fault campaigns evaluate every valid state transition of the FSM
+(Section 6.4 analyses "whether it is possible to hijack one of the state
+transitions").  To drive the circuit onto a specific edge we need concrete
+input values that satisfy the edge's guard while *not* satisfying any
+higher-priority guard of the same state.  Guards are conjunctions of equality
+literals, so this reduces to simple constraint propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.fsm.cfg import CfgEdge
+from repro.fsm.model import Fsm, Guard
+
+
+def _falsify_all(
+    fsm: Fsm, guards: List[Guard], assignment: Dict[str, int]
+) -> Optional[Dict[str, int]]:
+    """Extend ``assignment`` so that every guard in ``guards`` is false.
+
+    Uses backtracking over the choice of which literal of each guard to pin to
+    a conflicting value (guards share signals, so a greedy choice can paint
+    itself into a corner).  Returns the extended assignment or ``None`` when
+    the guards cannot all be falsified (the edge is shadowed/unreachable).
+    """
+    if not guards:
+        return assignment
+    guard, remaining = guards[0], guards[1:]
+    if guard.is_true:
+        return None
+    # Already false under the pinned values?
+    for name, value in guard.terms:
+        if name in assignment and assignment[name] != value:
+            return _falsify_all(fsm, remaining, assignment)
+    # Try every free literal as the one pinned to a conflicting value.
+    for name, value in guard.terms:
+        if name in assignment:
+            continue
+        signal = fsm.input_signal(name)
+        conflicting = (value + 1) & signal.max_value
+        if conflicting == value:
+            conflicting = value ^ 1
+        updated = dict(assignment)
+        updated[name] = conflicting
+        solution = _falsify_all(fsm, remaining, updated)
+        if solution is not None:
+            return solution
+    return None
+
+
+def activating_inputs(fsm: Fsm, edge: CfgEdge) -> Optional[Dict[str, int]]:
+    """Concrete input values that make ``edge`` the taken transition.
+
+    Returns ``None`` when the edge can never be taken (it is shadowed by a
+    higher-priority transition).  Unconstrained signals default to zero.
+    """
+    assignment: Dict[str, int] = dict(edge.guard.terms) if not edge.is_stay else {}
+    outgoing = fsm.transitions_from(edge.src)
+    higher_priority = outgoing if edge.is_stay else outgoing[: edge.index]
+
+    solved = _falsify_all(fsm, [t.guard for t in higher_priority], assignment)
+    if solved is None:
+        return None
+    assignment = solved
+
+    # Fill the remaining inputs with zero.
+    values = {sig.name: 0 for sig in fsm.inputs}
+    values.update(assignment)
+
+    # Sanity check: the unprotected semantics must actually take this edge.
+    next_state, taken = fsm.next_state(edge.src, values)
+    if edge.is_stay:
+        if taken is not None:
+            return None
+    else:
+        if taken is None or taken.dst != edge.dst or not _same_guard(taken.guard, edge.guard):
+            return None
+    if next_state != edge.dst:
+        return None
+    return values
+
+
+def _same_guard(a: Guard, b: Guard) -> bool:
+    return a.terms == b.terms
+
+
+def all_activating_inputs(fsm: Fsm, edges: List[CfgEdge]) -> Dict[CfgEdge, Dict[str, int]]:
+    """Activation vectors for every reachable edge (shadowed edges are skipped)."""
+    result: Dict[CfgEdge, Dict[str, int]] = {}
+    for edge in edges:
+        values = activating_inputs(fsm, edge)
+        if values is not None:
+            result[edge] = values
+    return result

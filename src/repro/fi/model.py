@@ -1,0 +1,101 @@
+"""The fault model of the paper (Section 2.1 / 3).
+
+A fault ``f`` is described by the tuple ``{e, s, t}``: an *effect* (transient
+bit flip or permanent stuck-at), a *spatial* dimension (which net -- gate
+output, register output or input wire) and a *temporal* dimension (which
+cycle, which for the single-cycle combinational analyses collapses to "during
+the evaluated transition").  Campaign outcomes are classified from the
+defender's perspective:
+
+* ``MASKED``   -- the faulty circuit still produced the golden next state;
+* ``DETECTED`` -- the fault corrupted the next state into an invalid codeword
+  (or raised the error/alert signal), so the FSM traps into the error state;
+* ``HIJACK``   -- the fault moved the FSM into a *different valid* state
+  without detection: the attacker's goal, counted as effective in Section 6.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class FaultEffect(Enum):
+    """Effect dimension ``e`` of a fault."""
+
+    TRANSIENT_FLIP = "flip"
+    STUCK_AT_0 = "stuck0"
+    STUCK_AT_1 = "stuck1"
+
+
+class Classification(Enum):
+    """Outcome of one injection from the defender's point of view.
+
+    ``REDIRECTED`` marks undetected deviations that land on another valid CFG
+    successor of the faulted transition's source state -- the within-CFG
+    redirection the paper's Section 7 lists as a limitation of the prototype
+    (1-bit selector signals in the pattern matching).  ``HIJACK`` marks
+    undetected deviations onto any other state.
+    """
+
+    MASKED = "masked"
+    DETECTED = "detected"
+    REDIRECTED = "redirected"
+    HIJACK = "hijack"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One concrete fault: effect + spatial location (+ optional cycle)."""
+
+    net: str
+    effect: FaultEffect = FaultEffect.TRANSIENT_FLIP
+    cycle: Optional[int] = None
+
+    def describe(self) -> str:
+        when = f"@cycle {self.cycle}" if self.cycle is not None else ""
+        return f"{self.effect.value} on {self.net} {when}".strip()
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """The result of injecting one fault during one transition."""
+
+    fault: Fault
+    source_state: str
+    expected_state: str
+    observed_code: int
+    observed_state: Optional[str]
+    classification: Classification
+
+    @property
+    def is_hijack(self) -> bool:
+        return self.classification is Classification.HIJACK
+
+    @property
+    def is_undetected_deviation(self) -> bool:
+        return self.classification in (Classification.HIJACK, Classification.REDIRECTED)
+
+
+def classify_observation(
+    golden_code: int,
+    observed_code: int,
+    observed_state: Optional[str],
+    error_states: frozenset,
+    cfg_successors: frozenset,
+    error_raised: bool = False,
+) -> Classification:
+    """Shared classification rule used by every injector and campaign.
+
+    ``error_states`` are state names that count as detection (the terminal
+    error state); ``cfg_successors`` are the valid successor states of the
+    faulted transition's source state.
+    """
+    if observed_code == golden_code and not error_raised:
+        return Classification.MASKED
+    if error_raised or observed_state is None or observed_state in error_states:
+        return Classification.DETECTED
+    if observed_state in cfg_successors:
+        return Classification.REDIRECTED
+    return Classification.HIJACK

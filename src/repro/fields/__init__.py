@@ -1,0 +1,35 @@
+"""Polynomial rings over GF(2) used by the SCFI diffusion layer.
+
+The paper instantiates its MDS matrix over ``F2[alpha]`` with
+``alpha = X^8 + X^2 + 1``.  That polynomial is *not* irreducible
+(``X^8 + X^2 + 1 = (X^4 + X + 1)^2`` over GF(2)), so the structure is a ring
+rather than a field -- exactly as in the lightweight-MDS construction of
+Duval and Leurent, where only the invertibility of specific element
+combinations matters.  :class:`repro.fields.wordring.WordRing` models this.
+"""
+
+from repro.fields.poly import (
+    poly_degree,
+    poly_add,
+    poly_mul,
+    poly_mod,
+    poly_divmod,
+    poly_gcd,
+    poly_is_irreducible,
+    poly_to_string,
+)
+from repro.fields.wordring import WordRing, SCFI_POLY, AES_POLY
+
+__all__ = [
+    "poly_degree",
+    "poly_add",
+    "poly_mul",
+    "poly_mod",
+    "poly_divmod",
+    "poly_gcd",
+    "poly_is_irreducible",
+    "poly_to_string",
+    "WordRing",
+    "SCFI_POLY",
+    "AES_POLY",
+]

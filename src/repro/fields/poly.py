@@ -1,0 +1,122 @@
+"""Polynomials over GF(2) represented as Python integers.
+
+Bit ``i`` of the integer is the coefficient of ``X**i``; e.g. ``0b100000101``
+is ``X^8 + X^2 + 1``.  The functions here are tiny but they are the basis of
+the word-ring arithmetic used by the MDS diffusion layer, so they are kept
+separate and fully tested.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def poly_degree(poly: int) -> int:
+    """Degree of the polynomial; the zero polynomial has degree -1."""
+    if poly < 0:
+        raise ValueError("polynomials are encoded as non-negative integers")
+    return poly.bit_length() - 1
+
+
+def poly_add(a: int, b: int) -> int:
+    """Addition (== subtraction) of polynomials over GF(2)."""
+    return a ^ b
+
+
+def poly_mul(a: int, b: int) -> int:
+    """Carry-less multiplication of two polynomials."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_divmod(a: int, b: int) -> Tuple[int, int]:
+    """Return quotient and remainder of ``a`` divided by ``b``."""
+    if b == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    quotient = 0
+    remainder = a
+    deg_b = poly_degree(b)
+    while poly_degree(remainder) >= deg_b:
+        shift = poly_degree(remainder) - deg_b
+        quotient ^= 1 << shift
+        remainder ^= b << shift
+    return quotient, remainder
+
+
+def poly_mod(a: int, modulus: int) -> int:
+    """Remainder of ``a`` modulo ``modulus``."""
+    return poly_divmod(a, modulus)[1]
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor of two polynomials."""
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def poly_is_irreducible(poly: int) -> bool:
+    """Rabin irreducibility test for polynomials over GF(2).
+
+    A degree-``n`` polynomial ``p`` is irreducible iff ``X^(2^n) == X (mod p)``
+    and ``gcd(X^(2^(n/q)) - X, p) == 1`` for every prime divisor ``q`` of ``n``.
+    """
+    degree = poly_degree(poly)
+    if degree <= 0:
+        return False
+    if degree == 1:
+        return True
+    if not poly & 1:
+        return False  # Divisible by X.
+
+    def x_pow_2k(k: int) -> int:
+        """Compute X^(2^k) mod poly by repeated squaring."""
+        value = 0b10  # X
+        for _ in range(k):
+            value = poly_mod(poly_mul(value, value), poly)
+        return value
+
+    # X^(2^n) must equal X modulo poly.
+    if x_pow_2k(degree) != 0b10:
+        return False
+    for q in _prime_factors(degree):
+        h = poly_add(x_pow_2k(degree // q), 0b10)
+        if poly_gcd(h, poly) != 1:
+            return False
+    return True
+
+
+def poly_to_string(poly: int, variable: str = "X") -> str:
+    """Human-readable representation, e.g. ``X^8 + X^2 + 1``."""
+    if poly == 0:
+        return "0"
+    terms = []
+    for i in range(poly_degree(poly), -1, -1):
+        if (poly >> i) & 1:
+            if i == 0:
+                terms.append("1")
+            elif i == 1:
+                terms.append(variable)
+            else:
+                terms.append(f"{variable}^{i}")
+    return " + ".join(terms)
+
+
+def _prime_factors(n: int) -> list:
+    """Distinct prime factors of ``n``."""
+    factors = []
+    candidate = 2
+    while candidate * candidate <= n:
+        if n % candidate == 0:
+            factors.append(candidate)
+            while n % candidate == 0:
+                n //= candidate
+        candidate += 1
+    if n > 1:
+        factors.append(n)
+    return factors

@@ -1,0 +1,137 @@
+"""The word ring F2[X]/(p) underlying the MDS diffusion layer.
+
+SCFI's diffusion layer multiplies 8-bit words by small constants such as
+``alpha`` (the class of ``X``) in ``F2[X]/(X^8 + X^2 + 1)``.  Because every
+such multiplication is GF(2)-linear on the bits of the word, each ring element
+``a`` has an associated 8x8 bit matrix ``M_a`` with ``a * w = M_a @ w``;
+lifting a 4x4 word matrix to its 32x32 bit matrix is how the tooling solves
+for transition modifiers and how the gate-level XOR network is produced.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from repro.fields.poly import poly_degree, poly_gcd, poly_mod, poly_mul, poly_to_string
+from repro.linalg import BitMatrix, gf2_rank
+
+#: The polynomial used by the SCFI paper: X^8 + X^2 + 1 (non-irreducible).
+SCFI_POLY = 0b100000101
+
+#: The AES polynomial X^8 + X^4 + X^3 + X + 1, used as an ablation alternative.
+AES_POLY = 0b100011011
+
+
+class WordRing:
+    """Arithmetic in ``F2[X]/(modulus)`` on ``width``-bit words."""
+
+    def __init__(self, modulus: int = SCFI_POLY):
+        degree = poly_degree(modulus)
+        if degree < 2:
+            raise ValueError("modulus must have degree >= 2")
+        self.modulus = modulus
+        self.width = degree
+
+    # ------------------------------------------------------------------
+    # Element arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def alpha(self) -> int:
+        """The class of ``X`` in the quotient ring."""
+        return 0b10
+
+    def add(self, a: int, b: int) -> int:
+        return (a ^ b) & self._mask
+
+    def mul(self, a: int, b: int) -> int:
+        return poly_mod(poly_mul(a & self._mask, b & self._mask), self.modulus)
+
+    def pow(self, a: int, exponent: int) -> int:
+        result = 1
+        base = a & self._mask
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            exponent >>= 1
+        return result
+
+    def is_invertible(self, a: int) -> bool:
+        """An element is invertible iff it is coprime to the modulus."""
+        if a & self._mask == 0:
+            return False
+        return poly_gcd(a & self._mask, self.modulus) == 1
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse via the extended Euclidean algorithm."""
+        if not self.is_invertible(a):
+            raise ZeroDivisionError(f"element {a:#x} is not invertible modulo {self.modulus:#x}")
+        # Extended Euclid over GF(2)[X].
+        old_r, r = self.modulus, a & self._mask
+        old_t, t = 0, 1
+        while r != 0:
+            from repro.fields.poly import poly_divmod
+
+            quotient, remainder = poly_divmod(old_r, r)
+            old_r, r = r, remainder
+            old_t, t = t, old_t ^ poly_mul(quotient, t)
+        return poly_mod(old_t, self.modulus)
+
+    # ------------------------------------------------------------------
+    # Linear-algebra view
+    # ------------------------------------------------------------------
+    def element_matrix(self, a: int) -> BitMatrix:
+        """The ``width`` x ``width`` bit matrix of multiplication by ``a``.
+
+        Column ``j`` holds the bits of ``a * X^j mod modulus``.
+        """
+        return self._element_matrix_cached(a & self._mask)
+
+    @lru_cache(maxsize=None)
+    def _element_matrix_cached(self, a: int) -> BitMatrix:
+        columns = [self.mul(a, 1 << j) for j in range(self.width)]
+        return BitMatrix.from_int_columns(columns, self.width)
+
+    def matrix_is_invertible(self, a: int) -> bool:
+        """Cross-check of :meth:`is_invertible` through the lifted matrix."""
+        return gf2_rank(self.element_matrix(a)) == self.width
+
+    def mul_xor_cost(self, a: int) -> int:
+        """Number of 2-input XOR gates of a naive constant multiplier by ``a``.
+
+        Each output bit is the XOR of the ones in its matrix row, costing
+        ``row_weight - 1`` gates (zero-weight rows and weight-one rows are
+        free rewiring).
+        """
+        matrix = self.element_matrix(a)
+        cost = 0
+        for i in range(matrix.rows):
+            weight = sum(matrix.row(i))
+            if weight > 1:
+                cost += weight - 1
+        return cost
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @property
+    def _mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def elements(self) -> List[int]:
+        """All ring elements (small widths only; guarded against misuse)."""
+        if self.width > 12:
+            raise ValueError("enumerating elements is only supported for widths <= 12")
+        return list(range(1 << self.width))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"WordRing(F2[X]/({poly_to_string(self.modulus)}))"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WordRing):
+            return NotImplemented
+        return self.modulus == other.modulus
+
+    def __hash__(self) -> int:
+        return hash(("WordRing", self.modulus))

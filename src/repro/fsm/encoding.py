@@ -1,0 +1,59 @@
+"""Classical state encodings for unprotected FSMs.
+
+The SCFI distance-``N`` encodings live in :mod:`repro.core.encoding`; this
+module provides the standard encodings (binary, gray, one-hot) used when
+synthesising the unprotected reference FSMs and the redundancy baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def binary_width(num_states: int) -> int:
+    """Minimum register width for a plain binary encoding."""
+    if num_states < 1:
+        raise ValueError("an FSM needs at least one state")
+    return max(1, math.ceil(math.log2(num_states)))
+
+
+def binary_encoding(states: Sequence[str]) -> Dict[str, int]:
+    """States numbered in declaration order."""
+    width = binary_width(len(states))
+    del width  # width is implied by the caller; kept for clarity
+    return {state: index for index, state in enumerate(states)}
+
+
+def gray_encoding(states: Sequence[str]) -> Dict[str, int]:
+    """Gray-code encoding (adjacent declaration order differs in one bit)."""
+    return {state: index ^ (index >> 1) for index, state in enumerate(states)}
+
+
+def one_hot_encoding(states: Sequence[str]) -> Dict[str, int]:
+    """One-hot encoding: one register bit per state."""
+    return {state: 1 << index for index, state in enumerate(states)}
+
+
+def encoding_width(encoding: Dict[str, int]) -> int:
+    """Register width required to hold every codeword of the encoding."""
+    return max(1, max(code.bit_length() for code in encoding.values()))
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Hamming distance between two codewords."""
+    return bin(a ^ b).count("1")
+
+
+def minimum_distance(encoding: Dict[str, int]) -> int:
+    """Minimum pairwise Hamming distance of an encoding (0 for one state)."""
+    codes: List[int] = list(encoding.values())
+    if len(codes) < 2:
+        return 0
+    best = None
+    for i, a in enumerate(codes):
+        for b in codes[i + 1 :]:
+            distance = hamming_distance(a, b)
+            if best is None or distance < best:
+                best = distance
+    return best or 0

@@ -1,0 +1,101 @@
+"""Cycle-accurate behavioural simulation of (unprotected) FSMs.
+
+The simulator is the golden reference for every protection scheme: the SCFI
+and redundancy passes must preserve the control-flow of the original FSM in
+the absence of faults, and the fault-injection campaigns compare faulty runs
+against the traces produced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.fsm.model import Fsm, Transition
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One simulated cycle: the state entered, the inputs seen, the outputs."""
+
+    cycle: int
+    state: str
+    inputs: Dict[str, int]
+    next_state: str
+    outputs: Dict[str, int]
+    transition: Optional[Transition]
+
+
+@dataclass
+class SimulationTrace:
+    """A sequence of :class:`TraceStep` plus convenience accessors."""
+
+    fsm_name: str
+    steps: List[TraceStep] = field(default_factory=list)
+
+    @property
+    def states(self) -> List[str]:
+        """The state sequence including the final state."""
+        if not self.steps:
+            return []
+        return [self.steps[0].state] + [step.next_state for step in self.steps]
+
+    @property
+    def final_state(self) -> str:
+        if not self.steps:
+            raise ValueError("trace is empty")
+        return self.steps[-1].next_state
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class FsmSimulator:
+    """Steps an :class:`~repro.fsm.model.Fsm` one input vector at a time."""
+
+    def __init__(self, fsm: Fsm, initial_state: Optional[str] = None):
+        self.fsm = fsm
+        self.state = initial_state or fsm.reset_state
+        if self.state not in set(fsm.states):
+            raise ValueError(f"initial state {self.state!r} is not a state of {fsm.name!r}")
+        self.cycle = 0
+
+    def reset(self) -> None:
+        """Return to the reset state and cycle zero."""
+        self.state = self.fsm.reset_state
+        self.cycle = 0
+
+    def step(self, inputs: Optional[Mapping[str, int]] = None) -> TraceStep:
+        """Advance one clock cycle with the given input values."""
+        input_values = dict(inputs or {})
+        next_state, transition = self.fsm.next_state(self.state, input_values)
+        step = TraceStep(
+            cycle=self.cycle,
+            state=self.state,
+            inputs=input_values,
+            next_state=next_state,
+            outputs=self.fsm.moore_output(self.state),
+            transition=transition,
+        )
+        self.state = next_state
+        self.cycle += 1
+        return step
+
+    def run(self, input_sequence: Iterable[Mapping[str, int]]) -> SimulationTrace:
+        """Simulate a whole input sequence and return the trace."""
+        trace = SimulationTrace(fsm_name=self.fsm.name)
+        for inputs in input_sequence:
+            trace.steps.append(self.step(inputs))
+        return trace
+
+
+def random_input_sequence(fsm: Fsm, length: int, seed: int = 0) -> List[Dict[str, int]]:
+    """A reproducible random input sequence for smoke tests and campaigns."""
+    import random
+
+    rng = random.Random(seed)
+    sequence: List[Dict[str, int]] = []
+    for _ in range(length):
+        values = {sig.name: rng.randrange(0, sig.max_value + 1) for sig in fsm.inputs}
+        sequence.append(values)
+    return sequence

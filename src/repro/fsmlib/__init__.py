@@ -1,0 +1,32 @@
+"""Benchmark FSMs: OpenTitan-like controllers, the formal-analysis FSM and
+small tutorial machines used by the examples and tests."""
+
+from repro.fsmlib.opentitan import (
+    OPENTITAN_MODULE_AREAS_GE,
+    adc_ctrl_fsm,
+    aes_control_fsm,
+    i2c_fsm,
+    ibex_controller_fsm,
+    ibex_lsu_fsm,
+    opentitan_module_models,
+    otbn_controller_fsm,
+    pwrmgr_fsm,
+)
+from repro.fsmlib.formal import formal_analysis_fsm
+from repro.fsmlib.tutorial import traffic_light_fsm, uart_rx_fsm, spi_master_fsm
+
+__all__ = [
+    "OPENTITAN_MODULE_AREAS_GE",
+    "adc_ctrl_fsm",
+    "aes_control_fsm",
+    "i2c_fsm",
+    "ibex_controller_fsm",
+    "ibex_lsu_fsm",
+    "otbn_controller_fsm",
+    "pwrmgr_fsm",
+    "opentitan_module_models",
+    "formal_analysis_fsm",
+    "traffic_light_fsm",
+    "uart_rx_fsm",
+    "spi_master_fsm",
+]

@@ -1,0 +1,43 @@
+"""The FSM used for the formal fault analysis (Section 6.4).
+
+The paper synthesises "an FSM with 14 state transitions", protects it with
+SCFI at a Hamming-distance-2 protection level, and exhaustively flips every
+gate of the MDS matrix multiplication.  This module provides a five-state
+controller whose control-flow graph has exactly 14 edges (explicit transitions
+plus the implicit stay edges), matching that workload.
+"""
+
+from __future__ import annotations
+
+from repro.fsm.cfg import transition_count
+from repro.fsm.model import Fsm, FsmBuilder
+
+
+def formal_analysis_fsm() -> Fsm:
+    """A five-state FSM whose CFG has exactly 14 transitions."""
+    builder = FsmBuilder("formal_fsm")
+    builder.state("S0", reset=True)
+    builder.states("S1", "S2", "S3", "S4")
+    builder.input("x0")
+    builder.input("x1")
+    builder.input("x2")
+    builder.input("x3")
+    builder.input("x4")
+    builder.input("x5")
+    builder.input("x6")
+    builder.input("x7")
+    # Explicit transitions (10) ...
+    builder.transition("S0", "S1", x0=1)
+    builder.transition("S0", "S2", x1=1)
+    builder.transition("S1", "S2", x2=1)
+    builder.transition("S1", "S3", x3=1)
+    builder.transition("S2", "S3", x4=1)
+    builder.transition("S2", "S0", x5=1)
+    builder.transition("S3", "S4", x6=1)
+    builder.transition("S3", "S0", x7=1)
+    builder.transition("S3", "S2", x5=1)
+    builder.always("S4", "S0")
+    # ... plus the implicit stay edges of S0..S3 (4) give 14 CFG edges in total.
+    fsm = builder.build()
+    assert transition_count(fsm) == 14, "the formal-analysis FSM must have 14 CFG edges"
+    return fsm

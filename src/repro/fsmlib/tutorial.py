@@ -1,0 +1,74 @@
+"""Small tutorial FSMs used by the quickstart example and the test suite."""
+
+from __future__ import annotations
+
+from repro.fsm.model import Fsm, FsmBuilder
+
+
+def traffic_light_fsm() -> Fsm:
+    """A three-state traffic light with a pedestrian request input."""
+    builder = FsmBuilder("traffic_light")
+    builder.state("RED", reset=True, red=1)
+    builder.state("GREEN", green=1)
+    builder.state("YELLOW", yellow=1)
+    builder.input("timer_done")
+    builder.input("ped_request")
+    builder.transition("RED", "GREEN", timer_done=1)
+    builder.transition("GREEN", "YELLOW", ped_request=1)
+    builder.transition("GREEN", "YELLOW", timer_done=1)
+    builder.transition("YELLOW", "RED", timer_done=1)
+    return builder.build()
+
+
+def uart_rx_fsm() -> Fsm:
+    """A UART receiver controller: idle, start, data, parity, stop."""
+    builder = FsmBuilder("uart_rx")
+    builder.state("IDLE", reset=True)
+    builder.state("START", busy=1)
+    builder.state("DATA", busy=1, shift_en=1)
+    builder.state("PARITY", busy=1)
+    builder.state("STOP", busy=1)
+    builder.state("DONE", done=1)
+    builder.input("rx_falling")
+    builder.input("bit_tick")
+    builder.input("last_bit")
+    builder.input("parity_en")
+    builder.input("frame_err")
+    builder.transition("IDLE", "START", rx_falling=1)
+    builder.transition("START", "DATA", bit_tick=1)
+    builder.transition("DATA", "PARITY", bit_tick=1, last_bit=1, parity_en=1)
+    builder.transition("DATA", "STOP", bit_tick=1, last_bit=1, parity_en=0)
+    builder.transition("PARITY", "STOP", bit_tick=1)
+    builder.transition("STOP", "IDLE", frame_err=1)
+    builder.transition("STOP", "DONE", bit_tick=1)
+    builder.always("DONE", "IDLE")
+    return builder.build()
+
+
+def spi_master_fsm() -> Fsm:
+    """An SPI master controller with chip-select handling and wait states."""
+    builder = FsmBuilder("spi_master")
+    builder.state("IDLE", reset=True, ready=1)
+    builder.state("CSB_ASSERT", cs_n=0)
+    builder.state("SHIFT", cs_n=0, sck_en=1)
+    builder.state("SAMPLE", cs_n=0, sck_en=1)
+    builder.state("BYTE_DONE", cs_n=0)
+    builder.state("CSB_DEASSERT")
+    builder.state("DONE", done=1)
+    builder.input("start")
+    builder.input("clk_tick")
+    builder.input("bit_last")
+    builder.input("byte_last")
+    builder.input("abort")
+    builder.transition("IDLE", "CSB_ASSERT", start=1)
+    builder.transition("CSB_ASSERT", "SHIFT", clk_tick=1)
+    builder.transition("SHIFT", "SAMPLE", clk_tick=1)
+    builder.transition("SAMPLE", "BYTE_DONE", clk_tick=1, bit_last=1)
+    builder.transition("SAMPLE", "SHIFT", clk_tick=1, bit_last=0)
+    builder.transition("BYTE_DONE", "CSB_DEASSERT", byte_last=1)
+    builder.transition("BYTE_DONE", "SHIFT", byte_last=0, clk_tick=1)
+    builder.transition("CSB_DEASSERT", "DONE", clk_tick=1)
+    builder.transition("DONE", "IDLE", clk_tick=1)
+    builder.transition("SHIFT", "CSB_DEASSERT", abort=1)
+    builder.transition("SAMPLE", "CSB_DEASSERT", abort=1)
+    return builder.build()

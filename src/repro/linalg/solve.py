@@ -1,0 +1,96 @@
+"""Gaussian elimination, solving and inversion over GF(2)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.bitmatrix import BitMatrix
+
+
+def gf2_row_reduce(matrix: BitMatrix) -> Tuple[BitMatrix, List[int]]:
+    """Return the reduced row echelon form of ``matrix`` and its pivot columns."""
+    data = matrix.data.copy().astype(np.uint8)
+    rows, cols = data.shape
+    pivots: List[int] = []
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        candidates = np.nonzero(data[pivot_row:, col])[0]
+        if candidates.size == 0:
+            continue
+        swap = pivot_row + int(candidates[0])
+        if swap != pivot_row:
+            data[[pivot_row, swap]] = data[[swap, pivot_row]]
+        # Eliminate this column from every other row.
+        ones = np.nonzero(data[:, col])[0]
+        for r in ones:
+            if r != pivot_row:
+                data[r] ^= data[pivot_row]
+        pivots.append(col)
+        pivot_row += 1
+    return BitMatrix(data), pivots
+
+
+def gf2_rank(matrix: BitMatrix) -> int:
+    """Rank of ``matrix`` over GF(2)."""
+    _, pivots = gf2_row_reduce(matrix)
+    return len(pivots)
+
+
+def gf2_solve(matrix: BitMatrix, rhs: Sequence[int]) -> Optional[List[int]]:
+    """Solve ``matrix @ x = rhs`` over GF(2).
+
+    Returns one solution (with free variables set to zero) or ``None`` when the
+    system is inconsistent.
+    """
+    rhs_bits = [int(b) & 1 for b in rhs]
+    if len(rhs_bits) != matrix.rows:
+        raise ValueError(f"rhs length {len(rhs_bits)} != rows {matrix.rows}")
+    augmented = matrix.hstack(BitMatrix.column_vector(rhs_bits))
+    reduced, pivots = gf2_row_reduce(augmented)
+    rhs_col = matrix.cols
+    if rhs_col in pivots:
+        return None  # A pivot in the RHS column means the system is inconsistent.
+    solution = [0] * matrix.cols
+    data = reduced.data
+    for row_index, pivot_col in enumerate(pivots):
+        solution[pivot_col] = int(data[row_index, rhs_col])
+    return solution
+
+
+def gf2_inverse(matrix: BitMatrix) -> Optional[BitMatrix]:
+    """Return the inverse of a square matrix, or ``None`` if singular."""
+    if matrix.rows != matrix.cols:
+        raise ValueError("only square matrices can be inverted")
+    size = matrix.rows
+    augmented = matrix.hstack(BitMatrix.identity(size))
+    reduced, pivots = gf2_row_reduce(augmented)
+    if pivots[:size] != list(range(size)) or len(pivots) < size:
+        return None
+    return BitMatrix(reduced.data[:, size:])
+
+
+def gf2_null_space(matrix: BitMatrix) -> List[List[int]]:
+    """Return a basis of the null space of ``matrix`` over GF(2)."""
+    reduced, pivots = gf2_row_reduce(matrix)
+    cols = matrix.cols
+    free_cols = [c for c in range(cols) if c not in pivots]
+    basis: List[List[int]] = []
+    data = reduced.data
+    for free in free_cols:
+        vector = [0] * cols
+        vector[free] = 1
+        for row_index, pivot_col in enumerate(pivots):
+            vector[pivot_col] = int(data[row_index, free])
+        basis.append(vector)
+    return basis
+
+
+def gf2_is_invertible(matrix: BitMatrix) -> bool:
+    """Return ``True`` when the (square) matrix has full rank."""
+    if matrix.rows != matrix.cols:
+        return False
+    return gf2_rank(matrix) == matrix.rows

@@ -1,0 +1,59 @@
+"""Area accounting in gate equivalents (GE)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.netlist.celllib import CellLibrary, DEFAULT_LIBRARY
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class AreaReport:
+    """Total and per-cell-type area of a netlist."""
+
+    netlist_name: str
+    total_ge: float
+    by_cell_type: Dict[str, float] = field(default_factory=dict)
+    cell_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_kge(self) -> float:
+        return self.total_ge / 1000.0
+
+    @property
+    def combinational_ge(self) -> float:
+        return self.total_ge - self.by_cell_type.get(GateType.DFF.value, 0.0)
+
+    @property
+    def sequential_ge(self) -> float:
+        return self.by_cell_type.get(GateType.DFF.value, 0.0)
+
+    def format(self) -> str:
+        lines = [f"Area report for {self.netlist_name}: {self.total_ge:.1f} GE"]
+        for cell_type in sorted(self.by_cell_type):
+            count = self.cell_counts.get(cell_type, 0)
+            lines.append(f"  {cell_type:<6} x{count:<5} {self.by_cell_type[cell_type]:8.1f} GE")
+        return "\n".join(lines)
+
+
+def area_report(netlist: Netlist, library: Optional[CellLibrary] = None) -> AreaReport:
+    """Compute the GE area of a netlist under the given cell library."""
+    library = library or DEFAULT_LIBRARY
+    by_type: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    total = 0.0
+    for gate in netlist.gates.values():
+        area = library.area(gate.gate_type, gate.drive)
+        key = gate.gate_type.value
+        by_type[key] = by_type.get(key, 0.0) + area
+        counts[key] = counts.get(key, 0) + 1
+        total += area
+    return AreaReport(
+        netlist_name=netlist.name,
+        total_ge=total,
+        by_cell_type=by_type,
+        cell_counts=counts,
+    )

@@ -1,0 +1,195 @@
+"""Word-level construction helpers on top of :class:`~repro.netlist.netlist.Netlist`.
+
+The builder plays the role of the techmap step of a synthesis flow: callers
+describe logic in terms of words (bit vectors), constants, comparators and
+multiplexers, and the builder expands everything into 2-input standard cells.
+Both the unprotected FSM lowering and the SCFI structural generator are
+written against this interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.netlist.gates import Gate, GateType
+from repro.netlist.netlist import Netlist
+
+Bits = List[str]
+
+
+class NetlistBuilder:
+    """Creates gates with fresh names and returns the nets they drive."""
+
+    def __init__(self, name: str):
+        self.netlist = Netlist(name)
+        self._counter = 0
+        self._const_nets: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+    def _fresh(self, hint: str) -> str:
+        self._counter += 1
+        return f"{hint}_{self._counter}"
+
+    # ------------------------------------------------------------------
+    # Ports and constants
+    # ------------------------------------------------------------------
+    def add_input(self, name: str, width: int = 1) -> Bits:
+        """Declare a primary input word; returns its per-bit net names."""
+        if width == 1:
+            return [self.netlist.add_input(name)]
+        return [self.netlist.add_input(f"{name}[{i}]") for i in range(width)]
+
+    def add_output(self, bits: Sequence[str], name: str) -> Bits:
+        """Mark existing nets as primary outputs under a readable alias."""
+        outs = []
+        for i, bit in enumerate(bits):
+            alias = name if len(bits) == 1 else f"{name}[{i}]"
+            out_net = self._fresh(f"po_{alias}")
+            self.netlist.add_gate(
+                Gate(name=f"pobuf_{alias}", gate_type=GateType.BUF, inputs=[bit], output=out_net)
+            )
+            self.netlist.add_output(out_net)
+            outs.append(out_net)
+        return outs
+
+    def const_bit(self, value: int) -> str:
+        """A constant-0 or constant-1 net (shared tie cells)."""
+        value = int(value) & 1
+        if value not in self._const_nets:
+            gate_type = GateType.TIE1 if value else GateType.TIE0
+            net = self._fresh(f"const{value}")
+            self.netlist.add_gate(Gate(name=f"tie{value}_{net}", gate_type=gate_type, inputs=[], output=net))
+            self._const_nets[value] = net
+        return self._const_nets[value]
+
+    def const_word(self, value: int, width: int) -> Bits:
+        """A constant word as a list of tie nets (LSB first)."""
+        return [self.const_bit((value >> i) & 1) for i in range(width)]
+
+    # ------------------------------------------------------------------
+    # Single-bit logic
+    # ------------------------------------------------------------------
+    def gate(self, gate_type: GateType, inputs: Sequence[str], hint: str = "n") -> str:
+        output = self._fresh(hint)
+        self.netlist.add_gate(
+            Gate(name=f"{gate_type.value.lower()}_{output}", gate_type=gate_type, inputs=list(inputs), output=output)
+        )
+        return output
+
+    def not_(self, a: str) -> str:
+        return self.gate(GateType.INV, [a], "inv")
+
+    def buf(self, a: str) -> str:
+        return self.gate(GateType.BUF, [a], "buf")
+
+    def and_(self, a: str, b: str) -> str:
+        return self.gate(GateType.AND2, [a, b], "and")
+
+    def or_(self, a: str, b: str) -> str:
+        return self.gate(GateType.OR2, [a, b], "or")
+
+    def xor_(self, a: str, b: str) -> str:
+        return self.gate(GateType.XOR2, [a, b], "xor")
+
+    def xnor_(self, a: str, b: str) -> str:
+        return self.gate(GateType.XNOR2, [a, b], "xnor")
+
+    def mux(self, a: str, b: str, sel: str) -> str:
+        """2:1 mux: returns ``b`` when ``sel`` is 1, otherwise ``a``."""
+        return self.gate(GateType.MUX2, [a, b, sel], "mux")
+
+    # ------------------------------------------------------------------
+    # Trees
+    # ------------------------------------------------------------------
+    def _tree(self, gate_type: GateType, bits: Sequence[str], hint: str) -> str:
+        bits = list(bits)
+        if not bits:
+            raise ValueError("tree reduction over an empty list")
+        while len(bits) > 1:
+            next_level = []
+            for i in range(0, len(bits) - 1, 2):
+                next_level.append(self.gate(gate_type, [bits[i], bits[i + 1]], hint))
+            if len(bits) % 2:
+                next_level.append(bits[-1])
+            bits = next_level
+        return bits[0]
+
+    def and_tree(self, bits: Sequence[str]) -> str:
+        return self._tree(GateType.AND2, bits, "andt")
+
+    def or_tree(self, bits: Sequence[str]) -> str:
+        return self._tree(GateType.OR2, bits, "ort")
+
+    def xor_tree(self, bits: Sequence[str]) -> str:
+        return self._tree(GateType.XOR2, bits, "xort")
+
+    # ------------------------------------------------------------------
+    # Word-level operators
+    # ------------------------------------------------------------------
+    def eq_const(self, bits: Sequence[str], value: int) -> str:
+        """1 when the word equals the constant ``value``."""
+        terms = []
+        for i, bit in enumerate(bits):
+            if (value >> i) & 1:
+                terms.append(bit)
+            else:
+                terms.append(self.not_(bit))
+        return self.and_tree(terms)
+
+    def eq_word(self, a: Sequence[str], b: Sequence[str]) -> str:
+        """1 when two equally sized words match bit for bit."""
+        if len(a) != len(b):
+            raise ValueError("eq_word requires equally sized words")
+        return self.and_tree([self.xnor_(x, y) for x, y in zip(a, b)])
+
+    def mux_word(self, a: Sequence[str], b: Sequence[str], sel: str) -> Bits:
+        """Word-wise 2:1 mux (``b`` when ``sel``)."""
+        if len(a) != len(b):
+            raise ValueError("mux_word requires equally sized words")
+        return [self.mux(x, y, sel) for x, y in zip(a, b)]
+
+    def and_word(self, a: Sequence[str], b: Sequence[str]) -> Bits:
+        if len(a) != len(b):
+            raise ValueError("and_word requires equally sized words")
+        return [self.and_(x, y) for x, y in zip(a, b)]
+
+    def xor_word(self, a: Sequence[str], b: Sequence[str]) -> Bits:
+        if len(a) != len(b):
+            raise ValueError("xor_word requires equally sized words")
+        return [self.xor_(x, y) for x, y in zip(a, b)]
+
+    def and_word_bit(self, word: Sequence[str], bit: str) -> Bits:
+        """AND every bit of ``word`` with a single control bit."""
+        return [self.and_(w, bit) for w in word]
+
+    # ------------------------------------------------------------------
+    # State elements
+    # ------------------------------------------------------------------
+    def register(self, d_bits: Sequence[str], name: str) -> Bits:
+        """A bank of D flip-flops; returns the Q nets."""
+        q_bits = []
+        for i, d in enumerate(d_bits):
+            q_net = f"{name}_q[{i}]" if len(d_bits) > 1 else f"{name}_q"
+            self.netlist.add_gate(
+                Gate(name=f"dff_{name}_{i}", gate_type=GateType.DFF, inputs=[d], output=q_net)
+            )
+            q_bits.append(q_net)
+        return q_bits
+
+    def placeholder(self, name: str, width: int = 1) -> Bits:
+        """Forward-declared nets, to be driven later via :meth:`drive`.
+
+        Used for register feedback loops: the Q nets are needed before the
+        logic producing D exists.  Prefer :meth:`register` when possible.
+        """
+        if width == 1:
+            return [f"{name}"]
+        return [f"{name}[{i}]" for i in range(width)]
+
+    def drive(self, target: str, source: str) -> None:
+        """Drive a placeholder net from an existing net via a buffer."""
+        self.netlist.add_gate(
+            Gate(name=f"drv_{target}", gate_type=GateType.BUF, inputs=[source], output=target)
+        )

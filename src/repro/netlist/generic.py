@@ -1,0 +1,126 @@
+"""Deterministic generation of generic datapath logic.
+
+Table 1 and Figure 8 of the paper report numbers for *whole OpenTitan
+modules*, of which the FSM is only one part.  We do not have the proprietary
+RTL of those modules, so (as documented in DESIGN.md) each benchmark module is
+modelled as "FSM + surrounding datapath".  This module builds that surrounding
+datapath as a reproducible pseudo-random network of registers and logic with a
+target area and a target logic depth, giving the timing-driven sizing loop of
+Figure 8 a realistic critical path to work against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.netlist.area import area_report
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.celllib import CellLibrary, DEFAULT_LIBRARY
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+#: Gate types the generator draws from, with rough relative frequencies that
+#: mimic a mapped arithmetic datapath.
+_GATE_MIX = (
+    [GateType.NAND2] * 4
+    + [GateType.NOR2] * 3
+    + [GateType.AND2] * 2
+    + [GateType.OR2] * 2
+    + [GateType.XOR2] * 3
+    + [GateType.INV] * 2
+    + [GateType.MUX2] * 2
+)
+
+
+def generate_datapath(
+    name: str,
+    target_ge: float,
+    depth: int = 24,
+    width: int = 8,
+    seed: int = 1,
+    library: Optional[CellLibrary] = None,
+) -> Netlist:
+    """Generate a random-logic datapath netlist of roughly ``target_ge`` GE.
+
+    The network is organised in ``depth`` layers of ``width`` signals driven by
+    randomly chosen 2-input cells reading the previous layers, terminated by a
+    register bank, so its critical path has about ``depth`` cell levels.  The
+    construction is deterministic in ``seed``.
+    """
+    library = library or DEFAULT_LIBRARY
+    if target_ge <= 0:
+        raise ValueError("target_ge must be positive")
+    rng = random.Random(seed)
+    builder = NetlistBuilder(name)
+
+    inputs = builder.add_input("dp_in", width)
+    layers: List[List[str]] = [inputs]
+    flop_bank = 0
+
+    def current_area() -> float:
+        return area_report(builder.netlist, library).total_ge
+
+    while current_area() < target_ge:
+        previous = layers[-1]
+        pool = previous + (layers[-2] if len(layers) > 1 else [])
+        new_layer: List[str] = []
+        for _ in range(width):
+            gate_type = rng.choice(_GATE_MIX)
+            if gate_type in (GateType.INV, GateType.BUF):
+                operands = [rng.choice(pool)]
+            elif gate_type is GateType.MUX2:
+                operands = [rng.choice(pool), rng.choice(pool), rng.choice(previous)]
+            else:
+                operands = [rng.choice(pool), rng.choice(pool)]
+            new_layer.append(builder.gate(gate_type, operands, "dp"))
+        layers.append(new_layer)
+
+        # Close a pipeline stage every ``depth`` layers so that the critical
+        # path stays near the requested depth regardless of total area.
+        if (len(layers) - 1) % depth == 0:
+            q_bits = builder.register(new_layer, f"dp_stage{flop_bank}")
+            flop_bank += 1
+            layers.append(q_bits)
+            if current_area() >= target_ge:
+                break
+
+    final_q = builder.register(layers[-1], "dp_out")
+    builder.add_output(final_q, "dp_out")
+    builder.netlist.validate()
+    return builder.netlist
+
+
+def pad_netlist_to(
+    netlist: Netlist,
+    target_ge: float,
+    depth: int = 24,
+    seed: int = 1,
+    library: Optional[CellLibrary] = None,
+) -> Netlist:
+    """Merge a generated datapath into ``netlist`` until it reaches ``target_ge``.
+
+    Used by the module-level experiments: the FSM netlist is the part the
+    protection passes transform, the padding models the rest of the module.
+    """
+    library = library or DEFAULT_LIBRARY
+    existing = area_report(netlist, library).total_ge
+    missing = target_ge - existing
+    if missing <= 0:
+        return netlist
+    datapath = generate_datapath(f"{netlist.name}_datapath", missing, depth=depth, seed=seed, library=library)
+    rename = netlist.merge(datapath, prefix="dp__")
+    # The datapath primary inputs become constant-zero nets in the merged module.
+    builder_const = None
+    for original in datapath.primary_inputs:
+        merged_net = rename[original]
+        from repro.netlist.gates import Gate
+
+        if builder_const is None:
+            builder_const = f"dp__tie0"
+            netlist.add_gate(Gate(name="dp__tie0_cell", gate_type=GateType.TIE0, inputs=[], output=builder_const))
+        netlist.add_gate(
+            Gate(name=f"dp__tiein_{merged_net}", gate_type=GateType.BUF, inputs=[builder_const], output=merged_net)
+        )
+    netlist.validate()
+    return netlist

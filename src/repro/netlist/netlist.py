@@ -1,0 +1,194 @@
+"""The gate-level netlist container.
+
+A :class:`Netlist` is a set of named nets driven by primary inputs, constant
+ties, combinational gates or flip-flop outputs.  It knows how to check its own
+structural sanity (single drivers, no combinational cycles), produce a
+topological evaluation order, and report per-cell statistics.  Simulation,
+timing and area live in their own modules and operate on this container.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.netlist.gates import Gate, GateType
+
+
+class Netlist:
+    """A flat gate-level netlist for one module."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        self.gates: Dict[str, Gate] = {}
+        self._driver: Dict[str, str] = {}
+        self._topo_cache: Optional[List[Gate]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> str:
+        if net in self._driver or net in self.primary_inputs:
+            raise ValueError(f"net {net!r} already driven")
+        self.primary_inputs.append(net)
+        self._topo_cache = None
+        return net
+
+    def add_output(self, net: str) -> str:
+        if net not in self.primary_outputs:
+            self.primary_outputs.append(net)
+        return net
+
+    def add_gate(self, gate: Gate) -> Gate:
+        if gate.name in self.gates:
+            raise ValueError(f"duplicate gate name {gate.name!r}")
+        if gate.output in self._driver or gate.output in self.primary_inputs:
+            raise ValueError(f"net {gate.output!r} already driven")
+        self.gates[gate.name] = gate
+        self._driver[gate.output] = gate.name
+        self._topo_cache = None
+        return gate
+
+    def remove_gate(self, name: str) -> None:
+        gate = self.gates.pop(name)
+        del self._driver[gate.output]
+        self._topo_cache = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def driver_of(self, net: str) -> Optional[Gate]:
+        """The gate driving ``net`` (``None`` for primary inputs)."""
+        gate_name = self._driver.get(net)
+        return self.gates[gate_name] if gate_name is not None else None
+
+    def nets(self) -> Set[str]:
+        """All nets referenced by the netlist."""
+        nets: Set[str] = set(self.primary_inputs) | set(self.primary_outputs)
+        for gate in self.gates.values():
+            nets.add(gate.output)
+            nets.update(gate.inputs)
+        return nets
+
+    def combinational_gates(self) -> List[Gate]:
+        return [g for g in self.gates.values() if not g.gate_type.is_sequential]
+
+    def flops(self) -> List[Gate]:
+        return [g for g in self.gates.values() if g.gate_type.is_sequential]
+
+    def flop_outputs(self) -> List[str]:
+        return [g.output for g in self.flops()]
+
+    def fanout_map(self) -> Dict[str, List[Gate]]:
+        """Map from net name to the gates reading it."""
+        fanout: Dict[str, List[Gate]] = defaultdict(list)
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                fanout[net].append(gate)
+        return dict(fanout)
+
+    def fanout_count(self, net: str) -> int:
+        count = sum(1 for gate in self.gates.values() if net in gate.inputs)
+        if net in self.primary_outputs:
+            count += 1
+        return count
+
+    def cell_histogram(self) -> Dict[GateType, int]:
+        histogram: Dict[GateType, int] = defaultdict(int)
+        for gate in self.gates.values():
+            histogram[gate.gate_type] += 1
+        return dict(histogram)
+
+    def count(self, gate_type: GateType) -> int:
+        return sum(1 for g in self.gates.values() if g.gate_type is gate_type)
+
+    # ------------------------------------------------------------------
+    # Structure checks and ordering
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the netlist is structurally broken."""
+        driven = set(self.primary_inputs) | set(self._driver)
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                if net not in driven:
+                    raise ValueError(f"gate {gate.name!r} reads undriven net {net!r}")
+        for net in self.primary_outputs:
+            if net not in driven:
+                raise ValueError(f"primary output {net!r} is undriven")
+        self.topological_order()  # raises on combinational cycles
+
+    def topological_order(self) -> List[Gate]:
+        """Combinational gates ordered so every gate follows its drivers.
+
+        Flip-flop outputs and primary inputs are sources; DFFs themselves are
+        not part of the combinational order.  Raises ``ValueError`` when a
+        combinational cycle exists.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        comb = self.combinational_gates()
+        ready: Set[str] = set(self.primary_inputs) | set(self.flop_outputs())
+        ready.update(g.output for g in self.gates.values() if g.gate_type.is_constant)
+        remaining = [g for g in comb if not g.gate_type.is_constant]
+        ordered: List[Gate] = [g for g in comb if g.gate_type.is_constant]
+        progress = True
+        while remaining and progress:
+            progress = False
+            still_waiting = []
+            for gate in remaining:
+                if all(net in ready for net in gate.inputs):
+                    ordered.append(gate)
+                    ready.add(gate.output)
+                    progress = True
+                else:
+                    still_waiting.append(gate)
+            remaining = still_waiting
+        if remaining:
+            names = ", ".join(sorted(g.name for g in remaining)[:5])
+            raise ValueError(f"combinational cycle or undriven input involving: {names}")
+        self._topo_cache = ordered
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def merge(self, other: "Netlist", prefix: str = "") -> Dict[str, str]:
+        """Copy every gate of ``other`` into this netlist.
+
+        Net and gate names are prefixed to avoid collisions; the mapping from
+        old to new net names is returned so callers can stitch interfaces.
+        Primary inputs of ``other`` become ordinary (undriven) nets that the
+        caller must connect or re-declare.
+        """
+        rename: Dict[str, str] = {}
+
+        def renamed(net: str) -> str:
+            if net not in rename:
+                rename[net] = f"{prefix}{net}" if prefix else net
+            return rename[net]
+
+        for net in other.primary_inputs:
+            renamed(net)
+        for gate in other.gates.values():
+            new_gate = Gate(
+                name=f"{prefix}{gate.name}" if prefix else gate.name,
+                gate_type=gate.gate_type,
+                inputs=[renamed(n) for n in gate.inputs],
+                output=renamed(gate.output),
+                drive=gate.drive,
+            )
+            self.add_gate(new_gate)
+        return rename
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, gates={len(self.gates)}, "
+            f"inputs={len(self.primary_inputs)}, outputs={len(self.primary_outputs)})"
+        )
+
+
+def connect(netlist: Netlist, source: str, sink: str) -> None:
+    """Drive net ``sink`` from ``source`` with a buffer (explicit aliasing)."""
+    netlist.add_gate(Gate(name=f"buf_{sink}", gate_type=GateType.BUF, inputs=[source], output=sink))

@@ -1,0 +1,149 @@
+"""Static timing analysis over the gate netlist.
+
+The model is a classic topological arrival-time propagation: every timing
+path starts at a primary input or a flip-flop Q pin and ends at a flip-flop D
+pin or a primary output.  Cell delays come from the
+:class:`~repro.netlist.celllib.CellLibrary` and depend on the gate type, its
+drive strength and its fanout.  The minimum clock period is the worst
+register-to-register (or input-to-register) path plus the flop setup time and
+clock-to-Q delay, which is what the Figure 8 sizing loop tries to push under
+the target period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.celllib import CellLibrary, DEFAULT_LIBRARY
+from repro.netlist.gates import Gate, GateType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class TimingReport:
+    """Result of one static timing analysis run."""
+
+    critical_path_ps: float
+    min_clock_period_ps: float
+    critical_path: List[str] = field(default_factory=list)
+    arrival_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        if self.min_clock_period_ps <= 0:
+            return float("inf")
+        return 1e6 / self.min_clock_period_ps
+
+
+class TimingAnalyzer:
+    """Computes arrival times and the critical path of a netlist."""
+
+    def __init__(self, netlist: Netlist, library: Optional[CellLibrary] = None):
+        self.netlist = netlist
+        self.library = library or DEFAULT_LIBRARY
+        self._fanout_counts: Optional[Dict[str, int]] = None
+
+    def _fanout(self, net: str) -> int:
+        if self._fanout_counts is None:
+            counts: Dict[str, int] = {}
+            for gate in self.netlist.gates.values():
+                for input_net in gate.inputs:
+                    counts[input_net] = counts.get(input_net, 0) + 1
+            for output in self.netlist.primary_outputs:
+                counts[output] = counts.get(output, 0) + 1
+            self._fanout_counts = counts
+        return self._fanout_counts.get(net, 1)
+
+    def gate_delay(self, gate: Gate) -> float:
+        return self.library.delay(gate.gate_type, gate.drive, self._fanout(gate.output))
+
+    def analyze(self) -> TimingReport:
+        """Propagate arrival times and return the timing report."""
+        library = self.library
+        arrival: Dict[str, float] = {}
+        predecessor: Dict[str, Tuple[str, Optional[Gate]]] = {}
+
+        for net in self.netlist.primary_inputs:
+            arrival[net] = 0.0
+        for flop in self.netlist.flops():
+            arrival[flop.output] = library.dff_clk_to_q_ps
+        for gate in self.netlist.combinational_gates():
+            if gate.gate_type.is_constant:
+                arrival[gate.output] = 0.0
+
+        for gate in self.netlist.topological_order():
+            if gate.gate_type.is_constant:
+                continue
+            delay = self.gate_delay(gate)
+            best_input = None
+            best_arrival = 0.0
+            for net in gate.inputs:
+                net_arrival = arrival.get(net, 0.0)
+                if best_input is None or net_arrival > best_arrival:
+                    best_input = net
+                    best_arrival = net_arrival
+            arrival[gate.output] = best_arrival + delay
+            predecessor[gate.output] = (best_input or "", gate)
+
+        # Path endpoints: D pins of flops and primary outputs.
+        worst_net = ""
+        worst_arrival = 0.0
+        for flop in self.netlist.flops():
+            d_net = flop.inputs[0]
+            endpoint_arrival = arrival.get(d_net, 0.0)
+            if endpoint_arrival > worst_arrival:
+                worst_arrival = endpoint_arrival
+                worst_net = d_net
+        for net in self.netlist.primary_outputs:
+            endpoint_arrival = arrival.get(net, 0.0)
+            if endpoint_arrival > worst_arrival:
+                worst_arrival = endpoint_arrival
+                worst_net = net
+
+        critical_path = self._trace_path(worst_net, predecessor)
+        min_period = worst_arrival + library.dff_setup_ps
+        return TimingReport(
+            critical_path_ps=worst_arrival,
+            min_clock_period_ps=min_period,
+            critical_path=critical_path,
+            arrival_times=arrival,
+        )
+
+    def _trace_path(
+        self, endpoint: str, predecessor: Dict[str, Tuple[str, Optional[Gate]]]
+    ) -> List[str]:
+        path: List[str] = []
+        net = endpoint
+        seen = set()
+        while net in predecessor and net not in seen:
+            seen.add(net)
+            source, gate = predecessor[net]
+            if gate is not None:
+                path.append(gate.name)
+            net = source
+        path.reverse()
+        return path
+
+    def critical_gates(self) -> List[Gate]:
+        """Gates on the current critical path, in path order."""
+        report = self.analyze()
+        return [self.netlist.gates[name] for name in report.critical_path if name in self.netlist.gates]
+
+
+def logic_depth(netlist: Netlist) -> int:
+    """Maximum number of combinational gates on any register-to-register path."""
+    depth: Dict[str, int] = {}
+    for net in netlist.primary_inputs:
+        depth[net] = 0
+    for flop in netlist.flops():
+        depth[flop.output] = 0
+    for gate in netlist.combinational_gates():
+        if gate.gate_type.is_constant:
+            depth[gate.output] = 0
+    for gate in netlist.topological_order():
+        if gate.gate_type.is_constant:
+            continue
+        depth[gate.output] = 1 + max((depth.get(n, 0) for n in gate.inputs), default=0)
+    endpoints = [flop.inputs[0] for flop in netlist.flops()] + list(netlist.primary_outputs)
+    return max((depth.get(net, 0) for net in endpoints), default=0)

@@ -1,0 +1,12 @@
+"""RTL-level views: SystemVerilog emission of (protected) FSMs and a small
+SystemVerilog FSM parser for round-tripping controller descriptions."""
+
+from repro.rtl.verilog_writer import emit_fsm, emit_protected_fsm
+from repro.rtl.verilog_parser import parse_fsm_verilog, VerilogParseError
+
+__all__ = [
+    "emit_fsm",
+    "emit_protected_fsm",
+    "parse_fsm_verilog",
+    "VerilogParseError",
+]

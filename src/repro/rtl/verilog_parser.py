@@ -1,0 +1,191 @@
+"""A small SystemVerilog parser for two-process FSM descriptions.
+
+This plays the role of the Yosys FSM detection/extraction passes: it reads the
+restricted but very common coding style used for control FSMs (an enum state
+type, a ``unique case (state_q)`` next-state process with ``if / else if``
+priority chains, and an ``always_ff`` state register) and recovers the
+:class:`~repro.fsm.model.Fsm` the protection passes operate on.
+
+Supported constructs (anything else raises :class:`VerilogParseError`):
+
+* ``module name ( input/output logic [w-1:0] port, ... );``
+* ``typedef enum logic [w-1:0] { NAME = w'bxxxx, ... } state_e;``
+* a next-state ``always_comb`` block with ``unique case (state_q)`` whose arms
+  assign ``state_d`` under ``if (cond)`` / ``else if (cond)`` chains; guards
+  are conjunctions of ``sig``, ``!sig`` and ``(sig == w'bxxxx)`` literals;
+* a Moore output ``always_comb`` block with per-state constant assignments;
+* an ``always_ff`` reset clause selecting the reset state.
+
+The parser is deliberately line-oriented: FSM processes written by humans (and
+by :mod:`repro.rtl.verilog_writer`) follow this shape closely, and a full
+SystemVerilog front end is far outside the scope of this reproduction.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.fsm.model import Fsm, Guard, Signal, Transition
+
+
+class VerilogParseError(ValueError):
+    """Raised when the source does not follow the supported FSM subset."""
+
+
+_MODULE_RE = re.compile(r"\bmodule\s+(\w+)\s*\(", re.S)
+_PORT_RE = re.compile(r"(input|output)\s+logic\s*(?:\[(\d+)\s*:\s*0\])?\s*(\w+)")
+_ENUM_RE = re.compile(r"typedef\s+enum\s+logic\s*\[(\d+)\s*:\s*0\]\s*\{(.*?)\}\s*(\w+)\s*;", re.S)
+_ENUM_ITEM_RE = re.compile(r"(\w+)\s*=\s*\d+'b([01_]+)")
+_CASE_RE = re.compile(r"unique\s+case\s*\(\s*state_q\s*\)(.*?)endcase", re.S)
+_RESET_RE = re.compile(r"if\s*\(\s*!\s*rst_ni\s*\)\s*begin\s*state_q\s*<=\s*(\w+)\s*;", re.S)
+_LITERAL_RE = re.compile(r"^\(?\s*(\w+)\s*==\s*\d+'b([01_]+)\s*\)?$")
+
+
+def parse_fsm_verilog(source: str) -> Fsm:
+    """Parse a SystemVerilog FSM description into an :class:`Fsm`."""
+    module_match = _MODULE_RE.search(source)
+    if not module_match:
+        raise VerilogParseError("no module declaration found")
+    name = module_match.group(1)
+
+    header = source[module_match.end() : source.index(");", module_match.end())]
+    inputs: List[Signal] = []
+    outputs: List[Signal] = []
+    for direction, width, port in _PORT_RE.findall(header):
+        if port in ("clk_i", "rst_ni"):
+            continue
+        signal = Signal(port, int(width) + 1 if width else 1)
+        if direction == "input":
+            inputs.append(signal)
+        else:
+            outputs.append(signal)
+
+    enum_match = _ENUM_RE.search(source)
+    if not enum_match:
+        raise VerilogParseError("no state enum found")
+    states: List[str] = []
+    encoding: Dict[str, int] = {}
+    for state, bits in _ENUM_ITEM_RE.findall(enum_match.group(2)):
+        states.append(state)
+        encoding[state] = int(bits.replace("_", ""), 2)
+    if not states:
+        raise VerilogParseError("state enum is empty")
+
+    case_blocks = _CASE_RE.findall(source)
+    if not case_blocks:
+        raise VerilogParseError("no `unique case (state_q)` next-state process found")
+    next_state_block = _select_next_state_block(case_blocks)
+    transitions = _parse_case_block(next_state_block, states, inputs)
+
+    moore_outputs = {}
+    output_block = _select_output_block(case_blocks, outputs)
+    if output_block is not None:
+        moore_outputs = _parse_output_block(output_block, states, outputs)
+
+    reset_match = _RESET_RE.search(source)
+    reset_state = reset_match.group(1) if reset_match else states[0]
+    if reset_state not in encoding:
+        raise VerilogParseError(f"reset state {reset_state!r} is not declared in the enum")
+
+    return Fsm(
+        name=name,
+        states=states,
+        reset_state=reset_state,
+        inputs=inputs,
+        outputs=outputs,
+        transitions=transitions,
+        moore_outputs=moore_outputs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _select_next_state_block(case_blocks: List[str]) -> str:
+    for block in case_blocks:
+        if "state_d" in block:
+            return block
+    raise VerilogParseError("no case block assigning state_d found")
+
+
+def _select_output_block(case_blocks: List[str], outputs: List[Signal]) -> Optional[str]:
+    output_names = {sig.name for sig in outputs}
+    for block in case_blocks:
+        if "state_d" in block:
+            continue
+        if any(name in block for name in output_names):
+            return block
+    return None
+
+
+def _split_case_arms(block: str, states: List[str]) -> List[Tuple[str, str]]:
+    """Split a case body into (label, arm text) pairs for known state labels."""
+    label_re = re.compile(r"^\s*(\w+)\s*:", re.M)
+    arms: List[Tuple[str, str]] = []
+    matches = list(label_re.finditer(block))
+    for index, match in enumerate(matches):
+        label = match.group(1)
+        end = matches[index + 1].start() if index + 1 < len(matches) else len(block)
+        arms.append((label, block[match.end() : end]))
+    return [(label, text) for label, text in arms if label in states or label == "default"]
+
+
+def _parse_condition(expression: str) -> Guard:
+    """Parse a conjunction of literals into a :class:`Guard`."""
+    expression = expression.strip()
+    if expression in ("1'b1", "1"):
+        return Guard.true()
+    literals: Dict[str, int] = {}
+    for term in expression.split("&&"):
+        term = term.strip()
+        if not term:
+            continue
+        match = _LITERAL_RE.match(term)
+        if match:
+            literals[match.group(1)] = int(match.group(2).replace("_", ""), 2)
+            continue
+        if term.startswith("!"):
+            literals[term[1:].strip().strip("()")] = 0
+            continue
+        bare = term.strip("()").strip()
+        if re.fullmatch(r"\w+", bare):
+            literals[bare] = 1
+            continue
+        raise VerilogParseError(f"unsupported guard term {term!r}")
+    return Guard(literals)
+
+
+def _parse_case_block(block: str, states: List[str], inputs: List[Signal]) -> List[Transition]:
+    transitions: List[Transition] = []
+    if_re = re.compile(r"(?:end\s+)?(?:else\s+)?if\s*\((.*?)\)\s*(?:begin)?\s*state_d\s*=\s*(\w+)\s*;", re.S)
+    uncond_re = re.compile(r"^\s*state_d\s*=\s*(\w+)\s*;", re.M)
+    for label, text in _split_case_arms(block, states):
+        if label == "default":
+            continue
+        for condition, destination in if_re.findall(text):
+            if destination not in states:
+                raise VerilogParseError(f"unknown next state {destination!r} in arm {label!r}")
+            transitions.append(Transition(label, destination, _parse_condition(condition)))
+        # An unconditional assignment other than `state_d = state_q` is a direct transition.
+        stripped = if_re.sub("", text)
+        for destination in uncond_re.findall(stripped):
+            if destination == "state_q" or destination == label:
+                continue
+            if destination not in states:
+                raise VerilogParseError(f"unknown next state {destination!r} in arm {label!r}")
+            transitions.append(Transition(label, destination, Guard.true()))
+    return transitions
+
+
+def _parse_output_block(block: str, states: List[str], outputs: List[Signal]) -> Dict[str, Dict[str, int]]:
+    assign_re = re.compile(r"(\w+)\s*=\s*\d+'b([01_]+)\s*;")
+    moore: Dict[str, Dict[str, int]] = {}
+    output_names = {sig.name for sig in outputs}
+    for label, text in _split_case_arms(block, states):
+        if label == "default":
+            continue
+        for name, bits in assign_re.findall(text):
+            if name in output_names:
+                moore.setdefault(label, {})[name] = int(bits.replace("_", ""), 2)
+    return moore

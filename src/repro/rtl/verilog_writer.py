@@ -1,0 +1,210 @@
+"""SystemVerilog emission of unprotected and SCFI-protected FSMs.
+
+The emitter produces the human-readable view of what the pass did: for the
+unprotected FSM a conventional two-process description, and for the hardened
+FSM the Figure 4 style next-state process where every case arm calls the
+hardened function ``phi_FH`` (emitted as a constant-modifier XOR network) and
+the default arm traps into the non-escapable error state while raising
+``fsm_alert``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.hardened import HardenedFsm, HardenedTransition
+from repro.core.layout import BLOCK_BITS, STATE_SHARE_BITS
+from repro.fsm.model import Fsm, Guard
+
+
+def _binary_literal(value: int, width: int) -> str:
+    return f"{width}'b{value:0{width}b}"
+
+
+def _guard_expression(fsm: Fsm, guard: Guard) -> str:
+    if guard.is_true:
+        return "1'b1"
+    terms = []
+    for name, value in guard.terms:
+        signal = fsm.input_signal(name)
+        if signal.width == 1:
+            terms.append(name if value else f"!{name}")
+        else:
+            terms.append(f"({name} == {_binary_literal(value, signal.width)})")
+    return " && ".join(terms)
+
+
+def emit_fsm(fsm: Fsm, encoding: Dict[str, int], state_width: int) -> str:
+    """Emit a plain (unprotected) SystemVerilog view of the FSM."""
+    lines: List[str] = []
+    ports = []
+    ports.append("  input  logic clk_i")
+    ports.append("  input  logic rst_ni")
+    for sig in fsm.inputs:
+        ports.append(f"  input  logic [{sig.width - 1}:0] {sig.name}")
+    for sig in fsm.outputs:
+        ports.append(f"  output logic [{sig.width - 1}:0] {sig.name}")
+    lines.append(f"module {fsm.name} (")
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    lines.append("")
+    lines.append(f"  typedef enum logic [{state_width - 1}:0] {{")
+    enum_items = [f"    {state} = {_binary_literal(encoding[state], state_width)}" for state in fsm.states]
+    lines.append(",\n".join(enum_items))
+    lines.append("  } state_e;")
+    lines.append("")
+    lines.append("  state_e state_q, state_d;")
+    lines.append("")
+    lines.append("  always_comb begin")
+    lines.append("    state_d = state_q;")
+    lines.append("    unique case (state_q)")
+    for state in fsm.states:
+        lines.append(f"      {state}: begin")
+        first = True
+        for transition in fsm.transitions_from(state):
+            keyword = "if" if first else "end else if"
+            lines.append(f"        {keyword} ({_guard_expression(fsm, transition.guard)}) begin")
+            lines.append(f"          state_d = {transition.dst};")
+            first = False
+        if not first:
+            lines.append("        end")
+        lines.append("      end")
+    lines.append("      default: state_d = state_q;")
+    lines.append("    endcase")
+    lines.append("  end")
+    lines.append("")
+    lines.append(_emit_output_logic(fsm))
+    lines.append(_emit_state_register(fsm, fsm.reset_state))
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def emit_protected_fsm(hardened: HardenedFsm) -> str:
+    """Emit the Figure 4 style SystemVerilog view of the protected FSM."""
+    fsm = hardened.fsm
+    state_width = hardened.state_width
+    encoding = hardened.state_encoding
+    lines: List[str] = []
+    ports = ["  input  logic clk_i", "  input  logic rst_ni"]
+    replication = hardened.protection_level
+    for sig in fsm.inputs:
+        ports.append(f"  input  logic [{sig.width * replication - 1}:0] {sig.name}_enc")
+    for sig in fsm.outputs:
+        ports.append(f"  output logic [{sig.width - 1}:0] {sig.name}")
+    ports.append("  output logic fsm_alert")
+    lines.append(f"module {fsm.name}_scfi{hardened.protection_level} (")
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    lines.append("")
+    lines.append(f"  // States re-encoded with a minimum Hamming distance of {hardened.protection_level}.")
+    lines.append(f"  typedef enum logic [{state_width - 1}:0] {{")
+    enum_names = list(fsm.states) + [hardened.error_state]
+    enum_items = [f"    {state} = {_binary_literal(encoding[state], state_width)}" for state in enum_names]
+    lines.append(",\n".join(enum_items))
+    lines.append("  } state_e;")
+    lines.append("")
+    lines.append("  state_e state_q, state_d;")
+    lines.append(f"  logic [{hardened.control_width - 1}:0] xe_active;")
+    lines.append(f"  logic [{BLOCK_BITS - 1}:0] mod_active [{hardened.layout.num_blocks}];")
+    lines.append("")
+    lines.append("  // phi_FH: MDS diffusion of {state, active control word, modifier}.")
+    lines.append("  always_comb begin")
+    lines.append("    state_d   = state_q;")
+    lines.append("    fsm_alert = 1'b0;")
+    lines.append("    unique case (state_q)")
+    for state in fsm.states:
+        lines.append(f"      {state}: begin")
+        lines.append("        state_d = scfi_phi_fh(state_q, xe_active, mod_active);")
+        lines.append("      end")
+    lines.append(f"      {hardened.error_state}: begin")
+    lines.append(f"        state_d = {hardened.error_state};")
+    lines.append("      end")
+    lines.append("      default: begin")
+    lines.append("        fsm_alert = 1'b1;")
+    lines.append(f"        state_d = {hardened.error_state};")
+    lines.append("      end")
+    lines.append("    endcase")
+    lines.append("  end")
+    lines.append("")
+    lines.append(_emit_control_selection(hardened))
+    lines.append(_emit_output_logic(fsm))
+    lines.append(_emit_state_register(fsm, fsm.reset_state))
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def _emit_control_selection(hardened: HardenedFsm) -> str:
+    """The pattern-matching / modifier-selection combinational block."""
+    fsm = hardened.fsm
+    lines: List[str] = []
+    lines.append("  // Input pattern matching and per-transition modifier selection.")
+    lines.append("  always_comb begin")
+    lines.append(f"    xe_active = '0;")
+    lines.append("    for (int b = 0; b < $size(mod_active); b++) mod_active[b] = '0;")
+    lines.append("    unique case (state_q)")
+    for state in fsm.states:
+        transitions: List[HardenedTransition] = sorted(
+            (t for t in hardened.transitions.values() if t.edge.src == state),
+            key=lambda t: t.edge.index,
+        )
+        lines.append(f"      {state}: begin")
+        first = True
+        for transition in transitions:
+            guard = transition.edge.guard
+            condition = _guard_expression(fsm, guard) if not transition.edge.is_stay else "1'b1"
+            keyword = "if" if first else "end else if"
+            lines.append(f"        {keyword} ({condition}) begin")
+            lines.append(
+                f"          xe_active = {_binary_literal(transition.control_code, hardened.control_width)};"
+            )
+            for block in hardened.layout.blocks:
+                lines.append(
+                    f"          mod_active[{block.index}] = "
+                    f"{_binary_literal(transition.modifiers[block.index], BLOCK_BITS - STATE_SHARE_BITS - 8)};"
+                )
+            first = False
+        if not first:
+            lines.append("        end")
+        lines.append("      end")
+    lines.append("      default: ;")
+    lines.append("    endcase")
+    lines.append("  end")
+    return "\n".join(lines)
+
+
+def _emit_output_logic(fsm: Fsm) -> str:
+    lines: List[str] = []
+    if not fsm.outputs:
+        return ""
+    lines.append("  // Moore output logic.")
+    lines.append("  always_comb begin")
+    for sig in fsm.outputs:
+        lines.append(f"    {sig.name} = '0;")
+    lines.append("    unique case (state_q)")
+    for state in fsm.states:
+        values = fsm.moore_outputs.get(state, {})
+        if not values:
+            continue
+        lines.append(f"      {state}: begin")
+        for name, value in values.items():
+            width = next(s.width for s in fsm.outputs if s.name == name)
+            lines.append(f"        {name} = {_binary_literal(value, width)};")
+        lines.append("      end")
+    lines.append("      default: ;")
+    lines.append("    endcase")
+    lines.append("  end")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _emit_state_register(fsm: Fsm, reset_state: str) -> str:
+    lines = []
+    lines.append("  always_ff @(posedge clk_i or negedge rst_ni) begin")
+    lines.append("    if (!rst_ni) begin")
+    lines.append(f"      state_q <= {reset_state};")
+    lines.append("    end else begin")
+    lines.append("      state_q <= state_d;")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Synthesis flow: FSM lowering, redundancy generation, sizing, reporting."""
+
+from repro.synth.lower import FsmNetlist, lower_fsm, lower_fsm_redundant
+from repro.synth.sizing import SizingResult, size_for_period
+from repro.synth.flow import ModuleModel, SynthesisReport, synthesize_module
+
+__all__ = [
+    "FsmNetlist",
+    "lower_fsm",
+    "lower_fsm_redundant",
+    "SizingResult",
+    "size_for_period",
+    "ModuleModel",
+    "SynthesisReport",
+    "synthesize_module",
+]

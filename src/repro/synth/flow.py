@@ -1,0 +1,114 @@
+"""Module-level synthesis driver.
+
+A *module model* couples an FSM with the size of the OpenTitan module the FSM
+lives in (the paper's Table 1 reports percentages of whole-module area) and
+with the datapath depth used when a full module netlist is needed for timing
+experiments.  :func:`synthesize_module` produces the unprotected, redundant or
+SCFI-protected netlist of the FSM part, optionally padded with the generic
+datapath so that the total module matches its reference area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.fsm.model import Fsm
+from repro.netlist.area import AreaReport, area_report
+from repro.netlist.celllib import CellLibrary, DEFAULT_LIBRARY
+from repro.netlist.generic import pad_netlist_to
+from repro.netlist.netlist import Netlist
+from repro.netlist.timing import TimingAnalyzer, TimingReport, logic_depth
+from repro.synth.lower import lower_fsm, lower_fsm_redundant
+
+
+@dataclass
+class ModuleModel:
+    """An FSM plus the parameters describing the module that contains it."""
+
+    fsm: Fsm
+    #: Unprotected whole-module area reported by the paper (GE); used as the
+    #: denominator for overhead percentages and as the padding target.
+    module_area_ge: float
+    #: Logic depth of the surrounding datapath (controls the module's critical path).
+    datapath_depth: int = 24
+    #: Seed for the deterministic datapath generator.
+    seed: int = 1
+
+
+@dataclass
+class SynthesisReport:
+    """Area and timing summary of one synthesised configuration."""
+
+    name: str
+    style: str
+    protection_level: int
+    fsm_area_ge: float
+    module_area_ge: float
+    area: AreaReport
+    timing: TimingReport
+    logic_depth: int
+    netlist: Netlist = field(repr=False, default=None)
+
+    def overhead_percent(self, reference: "SynthesisReport") -> float:
+        """Area overhead relative to a reference configuration, in percent of
+        the reference *module* area (the paper's Table 1 metric)."""
+        delta = self.fsm_area_ge - reference.fsm_area_ge
+        return 100.0 * delta / reference.module_area_ge
+
+
+def synthesize_module(
+    model: ModuleModel,
+    style: str = "unprotected",
+    protection_level: int = 1,
+    include_datapath: bool = False,
+    library: Optional[CellLibrary] = None,
+) -> SynthesisReport:
+    """Synthesise one configuration of a module model.
+
+    ``style`` is ``"unprotected"``, ``"redundancy"`` or ``"scfi"``;
+    ``protection_level`` is the paper's ``N``.  With ``include_datapath`` the
+    FSM netlist is padded with generic logic up to the module reference area,
+    which is what the Figure 8 timing experiment operates on.
+    """
+    library = library or DEFAULT_LIBRARY
+    if style == "unprotected":
+        fsm_netlist = lower_fsm(model.fsm).netlist
+    elif style == "redundancy":
+        fsm_netlist = lower_fsm_redundant(model.fsm, copies=protection_level).netlist
+    elif style == "scfi":
+        # Imported lazily to avoid a circular import (core uses the builder too).
+        from repro.core.scfi import ScfiOptions, protect_fsm
+
+        result = protect_fsm(model.fsm, ScfiOptions(protection_level=protection_level))
+        fsm_netlist = result.netlist
+    else:
+        raise ValueError(f"unknown synthesis style {style!r}")
+
+    fsm_area = area_report(fsm_netlist, library).total_ge
+    netlist = fsm_netlist
+    if include_datapath:
+        unprotected_area = area_report(lower_fsm(model.fsm).netlist, library).total_ge
+        padding_target = model.module_area_ge - unprotected_area
+        netlist = pad_netlist_to(
+            fsm_netlist,
+            fsm_area + max(0.0, padding_target),
+            depth=model.datapath_depth,
+            seed=model.seed,
+            library=library,
+        )
+
+    area = area_report(netlist, library)
+    timing = TimingAnalyzer(netlist, library).analyze()
+    module_area = model.module_area_ge + (fsm_area - area_report(lower_fsm(model.fsm).netlist, library).total_ge)
+    return SynthesisReport(
+        name=model.fsm.name,
+        style=style,
+        protection_level=protection_level,
+        fsm_area_ge=fsm_area,
+        module_area_ge=module_area,
+        area=area,
+        timing=timing,
+        logic_depth=logic_depth(netlist),
+        netlist=netlist,
+    )

@@ -1,0 +1,223 @@
+"""Lowering of behavioural FSMs to gate-level netlists.
+
+Two flavours are produced here:
+
+* :func:`lower_fsm` -- the unprotected reference implementation (binary state
+  encoding, priority-mux next-state logic, Moore output logic), the column
+  "Unprotected" of Table 1;
+* :func:`lower_fsm_redundant` -- the classical countermeasure the paper
+  compares against: the next-state logic and the state register instantiated
+  ``N`` times with a comparison-based error monitor.
+
+The SCFI-protected netlist is produced by :mod:`repro.core.structure` because
+it needs the hardened-function machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.fsm.encoding import binary_encoding, binary_width, encoding_width
+from repro.fsm.model import Fsm, Guard
+from repro.netlist.builder import Bits, NetlistBuilder
+from repro.netlist.gates import Gate, GateType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class FsmNetlist:
+    """A synthesised FSM plus the handles needed by simulation and campaigns."""
+
+    fsm: Fsm
+    netlist: Netlist
+    encoding: Dict[str, int]
+    state_width: int
+    state_q: List[str]
+    state_d: List[str]
+    input_bits: Dict[str, List[str]]
+    output_bits: Dict[str, List[str]] = field(default_factory=dict)
+    #: For redundant implementations: the Q nets of every copy and the error net.
+    redundant_state_q: List[List[str]] = field(default_factory=list)
+    error_net: Optional[str] = None
+
+    def input_vector(self, values: Mapping[str, int]) -> Dict[str, int]:
+        """Expand named input values into per-net bit assignments."""
+        assignment: Dict[str, int] = {}
+        for signal in self.fsm.inputs:
+            value = int(values.get(signal.name, 0))
+            for i, net in enumerate(self.input_bits[signal.name]):
+                assignment[net] = (value >> i) & 1
+        return assignment
+
+    def decode_state(self, code: int) -> Optional[str]:
+        for state, state_code in self.encoding.items():
+            if state_code == code:
+                return state
+        return None
+
+
+# ----------------------------------------------------------------------
+# Shared pieces
+# ----------------------------------------------------------------------
+def _guard_condition(builder: NetlistBuilder, fsm: Fsm, guard: Guard, input_bits: Dict[str, List[str]]) -> str:
+    """Net that is 1 exactly when the guard holds."""
+    if guard.is_true:
+        return builder.const_bit(1)
+    terms = []
+    for name, value in guard.terms:
+        signal = fsm.input_signal(name)
+        bits = input_bits[name]
+        if signal.width == 1:
+            terms.append(bits[0] if value else builder.not_(bits[0]))
+        else:
+            terms.append(builder.eq_const(bits, value))
+    return builder.and_tree(terms)
+
+
+def _next_state_logic(
+    builder: NetlistBuilder,
+    fsm: Fsm,
+    encoding: Dict[str, int],
+    width: int,
+    state_q: Bits,
+    input_bits: Dict[str, List[str]],
+) -> Bits:
+    """Priority-mux next-state cloud reading ``state_q`` and the inputs."""
+    state_select: Dict[str, str] = {
+        state: builder.eq_const(state_q, encoding[state]) for state in fsm.states
+    }
+    # Default next state: stay where we are (mirrors the paper's Figure 4 style).
+    next_bits = list(state_q)
+    for state in fsm.states:
+        per_state = builder.const_word(encoding[state], width)
+        for transition in reversed(fsm.transitions_from(state)):
+            condition = _guard_condition(builder, fsm, transition.guard, input_bits)
+            per_state = builder.mux_word(per_state, builder.const_word(encoding[transition.dst], width), condition)
+        next_bits = builder.mux_word(next_bits, per_state, state_select[state])
+    return next_bits
+
+
+def _moore_output_logic(
+    builder: NetlistBuilder,
+    fsm: Fsm,
+    encoding: Dict[str, int],
+    state_q: Bits,
+) -> Dict[str, List[str]]:
+    """Per-output OR networks over the state-select terms."""
+    output_bits: Dict[str, List[str]] = {}
+    if not fsm.outputs:
+        return output_bits
+    select = {state: builder.eq_const(state_q, encoding[state]) for state in fsm.states}
+    for signal in fsm.outputs:
+        bits: List[str] = []
+        for bit_index in range(signal.width):
+            active_states = [
+                state
+                for state in fsm.states
+                if (fsm.moore_output(state).get(signal.name, 0) >> bit_index) & 1
+            ]
+            if active_states:
+                bits.append(builder.or_tree([select[s] for s in active_states]))
+            else:
+                bits.append(builder.const_bit(0))
+        output_bits[signal.name] = builder.add_output(bits, signal.name)
+    return output_bits
+
+
+def _feedback_register(builder: NetlistBuilder, name: str, width: int) -> (List[str], List[str]):
+    """Create a register whose D nets are driven later (feedback loop)."""
+    d_nets = [f"{name}_d[{i}]" for i in range(width)]
+    q_nets = []
+    for i, d_net in enumerate(d_nets):
+        q_net = f"{name}_q[{i}]"
+        builder.netlist.add_gate(Gate(name=f"dff_{name}_{i}", gate_type=GateType.DFF, inputs=[d_net], output=q_net))
+        q_nets.append(q_net)
+    return d_nets, q_nets
+
+
+# ----------------------------------------------------------------------
+# Unprotected lowering
+# ----------------------------------------------------------------------
+def lower_fsm(fsm: Fsm, encoding: Optional[Dict[str, int]] = None, name_suffix: str = "") -> FsmNetlist:
+    """Synthesise the unprotected FSM with a plain binary encoding."""
+    encoding = dict(encoding) if encoding else binary_encoding(fsm.states)
+    width = max(binary_width(fsm.num_states), encoding_width(encoding))
+    builder = NetlistBuilder(f"{fsm.name}{name_suffix}")
+
+    input_bits = {sig.name: builder.add_input(sig.name, sig.width) for sig in fsm.inputs}
+    state_d, state_q = _feedback_register(builder, "state", width)
+    next_bits = _next_state_logic(builder, fsm, encoding, width, state_q, input_bits)
+    for d_net, bit in zip(state_d, next_bits):
+        builder.drive(d_net, bit)
+    output_bits = _moore_output_logic(builder, fsm, encoding, state_q)
+
+    builder.netlist.validate()
+    return FsmNetlist(
+        fsm=fsm,
+        netlist=builder.netlist,
+        encoding=encoding,
+        state_width=width,
+        state_q=state_q,
+        state_d=state_d,
+        input_bits=input_bits,
+        output_bits=output_bits,
+    )
+
+
+# ----------------------------------------------------------------------
+# Redundancy baseline
+# ----------------------------------------------------------------------
+def lower_fsm_redundant(
+    fsm: Fsm,
+    copies: int,
+    encoding: Optional[Dict[str, int]] = None,
+) -> FsmNetlist:
+    """The manual protection the paper compares against (Section 6.1, column
+    "Redundancy"): the next-state logic and state register are instantiated
+    ``copies`` times and a small monitor raises ``fsm_err`` when any two state
+    registers disagree.  Outputs are taken from the first copy.
+    """
+    if copies < 1:
+        raise ValueError("redundancy requires at least one copy")
+    encoding = dict(encoding) if encoding else binary_encoding(fsm.states)
+    width = max(binary_width(fsm.num_states), encoding_width(encoding))
+    builder = NetlistBuilder(f"{fsm.name}_red{copies}")
+
+    input_bits = {sig.name: builder.add_input(sig.name, sig.width) for sig in fsm.inputs}
+    all_q: List[List[str]] = []
+    first_q: List[str] = []
+    first_d: List[str] = []
+    for copy_index in range(copies):
+        state_d, state_q = _feedback_register(builder, f"state_c{copy_index}", width)
+        next_bits = _next_state_logic(builder, fsm, encoding, width, state_q, input_bits)
+        for d_net, bit in zip(state_d, next_bits):
+            builder.drive(d_net, bit)
+        all_q.append(state_q)
+        if copy_index == 0:
+            first_q = state_q
+            first_d = state_d
+
+    # Error monitor: any mismatch between copy 0 and copy i raises the alert.
+    error_net = builder.const_bit(0)
+    if copies > 1:
+        mismatches = []
+        for other in all_q[1:]:
+            mismatches.append(builder.not_(builder.eq_word(first_q, other)))
+        error_net = builder.or_tree(mismatches)
+    error_po = builder.add_output([error_net], "fsm_err")[0]
+
+    output_bits = _moore_output_logic(builder, fsm, encoding, first_q)
+    builder.netlist.validate()
+    return FsmNetlist(
+        fsm=fsm,
+        netlist=builder.netlist,
+        encoding=encoding,
+        state_width=width,
+        state_q=first_q,
+        state_d=first_d,
+        input_bits=input_bits,
+        output_bits=output_bits,
+        redundant_state_q=all_q,
+        error_net=error_po,
+    )

@@ -1,0 +1,225 @@
+"""Post-mapping logic optimisation passes.
+
+The structural generators build netlists in a direct, readable style: guard
+comparators instantiate inverters against constant bits, unused crossbar
+columns are tied to zero, and word-level helpers insert buffers.  Real
+synthesis flows (Yosys + ABC in the paper) clean this up; these passes perform
+the same simplifications so that area comparisons can also be made on
+optimised netlists:
+
+* constant propagation (gates with tied inputs collapse to constants, buffers
+  or inverters);
+* buffer sweeping (readers are rewired to the buffer's driver);
+* double-inverter elimination;
+* dead-gate elimination (logic no flip-flop or output observes).
+
+All passes are purely structural and preserve the sequential behaviour; the
+test suite checks equivalence by simulation on every optimised netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.netlist.gates import Gate, GateType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimisation loop did to one netlist."""
+
+    netlist_name: str
+    gates_before: int
+    gates_after: int = 0
+    constants_folded: int = 0
+    buffers_removed: int = 0
+    inverter_pairs_removed: int = 0
+    dead_gates_removed: int = 0
+    iterations: int = 0
+
+    @property
+    def gates_removed(self) -> int:
+        return self.gates_before - self.gates_after
+
+    def format(self) -> str:
+        return (
+            f"{self.netlist_name}: {self.gates_before} -> {self.gates_after} gates "
+            f"({self.constants_folded} folded, {self.buffers_removed} buffers, "
+            f"{self.inverter_pairs_removed} inverter pairs, {self.dead_gates_removed} dead)"
+        )
+
+
+def _rewire_readers(netlist: Netlist, old_net: str, new_net: str) -> None:
+    """Point every reader of ``old_net`` at ``new_net`` (primary outputs too)."""
+    for gate in netlist.gates.values():
+        gate.inputs = [new_net if net == old_net else net for net in gate.inputs]
+    netlist.primary_outputs = [new_net if net == old_net else net for net in netlist.primary_outputs]
+
+
+def _constant_value(netlist: Netlist, net: str) -> Optional[int]:
+    driver = netlist.driver_of(net)
+    if driver is None:
+        return None
+    if driver.gate_type is GateType.TIE0:
+        return 0
+    if driver.gate_type is GateType.TIE1:
+        return 1
+    return None
+
+
+def _tie_net(netlist: Netlist, value: int, cache: Dict[int, str]) -> str:
+    """A shared constant net of the requested value (created on demand)."""
+    if value in cache:
+        return cache[value]
+    for gate in netlist.gates.values():
+        if value == 0 and gate.gate_type is GateType.TIE0:
+            cache[0] = gate.output
+            return gate.output
+        if value == 1 and gate.gate_type is GateType.TIE1:
+            cache[1] = gate.output
+            return gate.output
+    gate_type = GateType.TIE1 if value else GateType.TIE0
+    net = f"opt_const{value}"
+    suffix = 0
+    while net in netlist.nets():
+        suffix += 1
+        net = f"opt_const{value}_{suffix}"
+    netlist.add_gate(Gate(name=f"opt_tie{value}_{suffix}", gate_type=gate_type, inputs=[], output=net))
+    cache[value] = net
+    return net
+
+
+def propagate_constants(netlist: Netlist, report: OptimizationReport) -> bool:
+    """One sweep of constant folding; returns True when anything changed."""
+    changed = False
+    cache: Dict[int, str] = {}
+    for gate in list(netlist.gates.values()):
+        if gate.gate_type in (GateType.TIE0, GateType.TIE1, GateType.DFF, GateType.BUF):
+            continue
+        values = [_constant_value(netlist, net) for net in gate.inputs]
+        replacement_net: Optional[str] = None
+        replacement_gate: Optional[Gate] = None
+
+        if all(value is not None for value in values):
+            replacement_net = _tie_net(netlist, gate.evaluate([v or 0 for v in values]), cache)
+        elif gate.gate_type in (GateType.AND2, GateType.NAND2, GateType.OR2, GateType.NOR2):
+            constant = next((v for v in values if v is not None), None)
+            if constant is not None:
+                other = gate.inputs[values.index(None)]
+                inverted = gate.gate_type in (GateType.NAND2, GateType.NOR2)
+                dominant = 0 if gate.gate_type in (GateType.AND2, GateType.NAND2) else 1
+                if constant == dominant:
+                    replacement_net = _tie_net(netlist, dominant ^ int(inverted), cache)
+                else:
+                    if inverted:
+                        replacement_gate = Gate(f"opt_inv_{gate.name}", GateType.INV, [other], gate.output)
+                    else:
+                        replacement_net = other
+        elif gate.gate_type in (GateType.XOR2, GateType.XNOR2):
+            constant = next((v for v in values if v is not None), None)
+            if constant is not None:
+                other = gate.inputs[values.index(None)]
+                invert = (constant == 1) ^ (gate.gate_type is GateType.XNOR2)
+                if invert:
+                    replacement_gate = Gate(f"opt_inv_{gate.name}", GateType.INV, [other], gate.output)
+                else:
+                    replacement_net = other
+        elif gate.gate_type is GateType.MUX2:
+            select_value = values[2]
+            if select_value is not None:
+                replacement_net = gate.inputs[1] if select_value else gate.inputs[0]
+            elif values[0] is not None and values[0] == values[1]:
+                replacement_net = _tie_net(netlist, values[0], cache)
+        elif gate.gate_type is GateType.INV:
+            if values[0] is not None:
+                replacement_net = _tie_net(netlist, 1 - values[0], cache)
+
+        if replacement_net is not None:
+            output = gate.output
+            netlist.remove_gate(gate.name)
+            _rewire_readers(netlist, output, replacement_net)
+            report.constants_folded += 1
+            changed = True
+        elif replacement_gate is not None:
+            netlist.remove_gate(gate.name)
+            netlist.add_gate(replacement_gate)
+            report.constants_folded += 1
+            changed = True
+    return changed
+
+
+def sweep_buffers(netlist: Netlist, report: OptimizationReport) -> bool:
+    """Remove buffers whose output is not a primary output."""
+    changed = False
+    for gate in list(netlist.gates.values()):
+        if gate.gate_type is not GateType.BUF:
+            continue
+        if gate.output in netlist.primary_outputs:
+            continue
+        source = gate.inputs[0]
+        output = gate.output
+        netlist.remove_gate(gate.name)
+        _rewire_readers(netlist, output, source)
+        report.buffers_removed += 1
+        changed = True
+    return changed
+
+
+def remove_double_inverters(netlist: Netlist, report: OptimizationReport) -> bool:
+    """Rewire readers of INV(INV(x)) to x (the inverters stay until DCE)."""
+    changed = False
+    for gate in list(netlist.gates.values()):
+        if gate.gate_type is not GateType.INV:
+            continue
+        driver = netlist.driver_of(gate.inputs[0])
+        if driver is None or driver.gate_type is not GateType.INV:
+            continue
+        if gate.output in netlist.primary_outputs:
+            continue
+        original = driver.inputs[0]
+        output = gate.output
+        netlist.remove_gate(gate.name)
+        _rewire_readers(netlist, output, original)
+        report.inverter_pairs_removed += 1
+        changed = True
+    return changed
+
+
+def remove_dead_gates(netlist: Netlist, report: OptimizationReport) -> bool:
+    """Drop combinational gates whose outputs nothing observes."""
+    changed = False
+    while True:
+        observed = set(netlist.primary_outputs)
+        for gate in netlist.gates.values():
+            observed.update(gate.inputs)
+        dead = [
+            gate.name
+            for gate in netlist.gates.values()
+            if gate.output not in observed and not gate.gate_type.is_sequential
+        ]
+        if not dead:
+            break
+        for name in dead:
+            netlist.remove_gate(name)
+            report.dead_gates_removed += 1
+            changed = True
+    return changed
+
+
+def optimize_netlist(netlist: Netlist, max_iterations: int = 20) -> OptimizationReport:
+    """Run all passes to a fixpoint (in place) and return the report."""
+    report = OptimizationReport(netlist_name=netlist.name, gates_before=len(netlist.gates))
+    for _ in range(max_iterations):
+        report.iterations += 1
+        changed = False
+        changed |= propagate_constants(netlist, report)
+        changed |= sweep_buffers(netlist, report)
+        changed |= remove_double_inverters(netlist, report)
+        changed |= remove_dead_gates(netlist, report)
+        if not changed:
+            break
+    netlist.validate()
+    report.gates_after = len(netlist.gates)
+    return report

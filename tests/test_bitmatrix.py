@@ -1,0 +1,124 @@
+"""Tests for the GF(2) bit-matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import BitMatrix
+
+
+class TestConstruction:
+    def test_from_lists(self):
+        m = BitMatrix([[1, 0], [0, 1]])
+        assert m.shape == (2, 2)
+        assert m.to_lists() == [[1, 0], [0, 1]]
+
+    def test_values_reduced_mod_2(self):
+        m = BitMatrix([[2, 3], [4, 5]])
+        assert m.to_lists() == [[0, 1], [0, 1]]
+
+    def test_one_dimensional_becomes_row(self):
+        m = BitMatrix([1, 0, 1])
+        assert m.shape == (1, 3)
+
+    def test_three_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            BitMatrix(np.zeros((2, 2, 2)))
+
+    def test_zeros_and_identity(self):
+        assert BitMatrix.zeros(2, 3).is_zero()
+        identity = BitMatrix.identity(3)
+        assert identity.to_lists() == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_from_rows_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            BitMatrix.from_rows([[1, 0], [1]])
+
+    def test_from_rows_requires_rows(self):
+        with pytest.raises(ValueError):
+            BitMatrix.from_rows([])
+
+    def test_from_int_columns(self):
+        # Column 0 holds 0b101 -> bits (1, 0, 1) top to bottom (little endian rows).
+        m = BitMatrix.from_int_columns([0b101, 0b010], rows=3)
+        assert m.column(0) == [1, 0, 1]
+        assert m.column(1) == [0, 1, 0]
+
+    def test_column_vector(self):
+        v = BitMatrix.column_vector([1, 1, 0])
+        assert v.shape == (3, 1)
+
+
+class TestArithmetic:
+    def test_addition_is_xor(self):
+        a = BitMatrix([[1, 0], [1, 1]])
+        b = BitMatrix([[1, 1], [0, 1]])
+        assert (a + b).to_lists() == [[0, 1], [1, 0]]
+
+    def test_addition_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BitMatrix.zeros(2, 2) + BitMatrix.zeros(2, 3)
+
+    def test_matmul_identity(self):
+        a = BitMatrix([[1, 1], [0, 1]])
+        assert (a @ BitMatrix.identity(2)) == a
+
+    def test_matmul_mod2(self):
+        a = BitMatrix([[1, 1]])
+        b = BitMatrix([[1], [1]])
+        assert (a @ b).to_lists() == [[0]]
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BitMatrix.zeros(2, 3) @ BitMatrix.zeros(2, 3)
+
+    def test_multiply_vector(self):
+        m = BitMatrix([[1, 1, 0], [0, 1, 1]])
+        assert m.multiply_vector([1, 1, 1]) == [0, 0]
+        assert m.multiply_vector([1, 0, 1]) == [1, 1]
+
+    def test_multiply_vector_length_check(self):
+        with pytest.raises(ValueError):
+            BitMatrix.identity(3).multiply_vector([1, 0])
+
+    def test_transpose(self):
+        m = BitMatrix([[1, 0, 1], [0, 1, 0]])
+        assert m.transpose().shape == (3, 2)
+        assert m.transpose().row(0) == [1, 0]
+
+
+class TestStructure:
+    def test_hstack_vstack(self):
+        a = BitMatrix.identity(2)
+        wide = a.hstack(a)
+        tall = a.vstack(a)
+        assert wide.shape == (2, 4)
+        assert tall.shape == (4, 2)
+
+    def test_hstack_mismatch(self):
+        with pytest.raises(ValueError):
+            BitMatrix.zeros(2, 2).hstack(BitMatrix.zeros(3, 2))
+
+    def test_submatrix(self):
+        m = BitMatrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        sub = m.submatrix([0, 2], [1, 2])
+        assert sub.shape == (2, 2)
+
+    def test_row_column_access(self):
+        m = BitMatrix([[1, 0, 1], [0, 1, 1]])
+        assert m.row(1) == [0, 1, 1]
+        assert m.column(2) == [1, 1]
+
+    def test_weight(self):
+        assert BitMatrix([[1, 0], [1, 1]]).weight() == 3
+
+    def test_equality_and_hash(self):
+        a = BitMatrix([[1, 0], [0, 1]])
+        b = BitMatrix.identity(2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BitMatrix.zeros(2, 2)
+
+    def test_getitem(self):
+        m = BitMatrix([[1, 0], [0, 1]])
+        assert m[0, 1] == 0
+        assert m[0].shape == (1, 2)

@@ -1,0 +1,148 @@
+"""Tests for the word-level netlist builder (the techmap layer)."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.simulate import NetlistSimulator
+
+
+def evaluate(builder: NetlistBuilder, output_bits, inputs):
+    """Helper: simulate the builder's netlist and read back a word."""
+    for bit in output_bits:
+        builder.netlist.add_output(bit)
+    simulator = NetlistSimulator(builder.netlist)
+    values = simulator.evaluate(inputs)
+    return simulator.read_word(values, output_bits)
+
+
+class TestConstants:
+    def test_const_bits_shared(self):
+        builder = NetlistBuilder("c")
+        assert builder.const_bit(1) == builder.const_bit(1)
+        assert builder.const_bit(0) != builder.const_bit(1)
+
+    def test_const_word(self):
+        builder = NetlistBuilder("c")
+        bits = builder.const_word(0b1010, 4)
+        assert evaluate(builder, bits, {}) == 0b1010
+
+
+class TestLogicOps:
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_basic_gates(self, a, b):
+        builder = NetlistBuilder("g")
+        ia = builder.add_input("a")[0]
+        ib = builder.add_input("b")[0]
+        outs = [
+            builder.and_(ia, ib),
+            builder.or_(ia, ib),
+            builder.xor_(ia, ib),
+            builder.xnor_(ia, ib),
+            builder.not_(ia),
+            builder.mux(ia, ib, builder.const_bit(1)),
+            builder.mux(ia, ib, builder.const_bit(0)),
+        ]
+        value = evaluate(builder, outs, {"a": a, "b": b})
+        bits = [(value >> i) & 1 for i in range(7)]
+        assert bits[0] == (a & b)
+        assert bits[1] == (a | b)
+        assert bits[2] == (a ^ b)
+        assert bits[3] == 1 - (a ^ b)
+        assert bits[4] == 1 - a
+        assert bits[5] == b  # sel=1 selects the second operand
+        assert bits[6] == a
+
+    def test_trees(self):
+        builder = NetlistBuilder("t")
+        bits = builder.add_input("v", 5)
+        and_out = builder.and_tree(bits)
+        or_out = builder.or_tree(bits)
+        xor_out = builder.xor_tree(bits)
+        simulator = NetlistSimulator(builder.netlist)
+        for value in (0, 1, 0b10101, 0b11111, 0b01110):
+            inputs = NetlistSimulator.spread_word(bits, value)
+            values = simulator.evaluate(inputs)
+            assert values[and_out] == int(value == 0b11111)
+            assert values[or_out] == int(value != 0)
+            assert values[xor_out] == bin(value).count("1") % 2
+
+    def test_tree_of_empty_list(self):
+        builder = NetlistBuilder("t")
+        with pytest.raises(ValueError):
+            builder.and_tree([])
+
+
+class TestWordOps:
+    def test_eq_const(self):
+        builder = NetlistBuilder("w")
+        bits = builder.add_input("v", 4)
+        match = builder.eq_const(bits, 0b1010)
+        simulator_bits = [match]
+        for bit in simulator_bits:
+            builder.netlist.add_output(bit)
+        simulator = NetlistSimulator(builder.netlist)
+        for value in range(16):
+            values = simulator.evaluate(NetlistSimulator.spread_word(bits, value))
+            assert values[match] == int(value == 0b1010)
+
+    def test_eq_word(self):
+        builder = NetlistBuilder("w")
+        a = builder.add_input("a", 3)
+        b = builder.add_input("b", 3)
+        eq = builder.eq_word(a, b)
+        builder.netlist.add_output(eq)
+        simulator = NetlistSimulator(builder.netlist)
+        for x in range(8):
+            for y in range(8):
+                inputs = {}
+                inputs.update(NetlistSimulator.spread_word(a, x))
+                inputs.update(NetlistSimulator.spread_word(b, y))
+                assert simulator.evaluate(inputs)[eq] == int(x == y)
+
+    def test_eq_word_length_mismatch(self):
+        builder = NetlistBuilder("w")
+        with pytest.raises(ValueError):
+            builder.eq_word(builder.add_input("a", 2), builder.add_input("b", 3))
+
+    def test_mux_word_and_and_word(self):
+        builder = NetlistBuilder("w")
+        a = builder.add_input("a", 4)
+        b = builder.add_input("b", 4)
+        sel = builder.add_input("sel")[0]
+        muxed = builder.mux_word(a, b, sel)
+        anded = builder.and_word(a, b)
+        xored = builder.xor_word(a, b)
+        gated = builder.and_word_bit(a, sel)
+        for word in (muxed, anded, xored, gated):
+            for bit in word:
+                builder.netlist.add_output(bit)
+        simulator = NetlistSimulator(builder.netlist)
+        for x, y, s in [(0b1100, 0b1010, 0), (0b1100, 0b1010, 1), (0, 0b1111, 1)]:
+            inputs = {"sel": s}
+            inputs.update(NetlistSimulator.spread_word(a, x))
+            inputs.update(NetlistSimulator.spread_word(b, y))
+            values = simulator.evaluate(inputs)
+            assert simulator.read_word(values, muxed) == (y if s else x)
+            assert simulator.read_word(values, anded) == (x & y)
+            assert simulator.read_word(values, xored) == (x ^ y)
+            assert simulator.read_word(values, gated) == (x if s else 0)
+
+
+class TestRegisters:
+    def test_register_roundtrip(self):
+        builder = NetlistBuilder("r")
+        d = builder.add_input("d", 3)
+        q = builder.register(d, "state")
+        builder.add_output(q, "q")
+        simulator = NetlistSimulator(builder.netlist)
+        simulator.step(NetlistSimulator.spread_word(d, 0b101))
+        assert simulator.read_register_word(q) == 0b101
+
+    def test_placeholder_and_drive(self):
+        builder = NetlistBuilder("r")
+        source = builder.const_bit(1)
+        (target,) = builder.placeholder("loop")
+        builder.drive(target, source)
+        builder.netlist.add_output(target)
+        simulator = NetlistSimulator(builder.netlist)
+        assert simulator.evaluate({})[target] == 1

@@ -1,0 +1,93 @@
+"""Tests for the cell library model and area reporting."""
+
+import pytest
+
+from repro.netlist.area import area_report
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.celllib import AREA_SCALE, CellLibrary, CellSpec, DEFAULT_LIBRARY, nangate45_like_library
+from repro.netlist.gates import GateType
+
+
+class TestCellLibrary:
+    def test_default_library_covers_every_cell(self):
+        library = nangate45_like_library()
+        for gate_type in GateType:
+            assert library.area(gate_type) >= 0
+            assert library.delay(gate_type) >= 0
+
+    def test_missing_cells_rejected(self):
+        with pytest.raises(ValueError):
+            CellLibrary("partial", {GateType.INV: CellSpec(0.67, 40.0)})
+
+    def test_nand2_is_the_ge_reference(self):
+        assert DEFAULT_LIBRARY.area(GateType.NAND2, 1) == pytest.approx(1.0)
+
+    def test_area_scales_with_drive(self):
+        for gate_type in (GateType.NAND2, GateType.XOR2, GateType.MUX2):
+            x1 = DEFAULT_LIBRARY.area(gate_type, 1)
+            x2 = DEFAULT_LIBRARY.area(gate_type, 2)
+            x4 = DEFAULT_LIBRARY.area(gate_type, 4)
+            assert x1 < x2 < x4
+            assert x2 == pytest.approx(x1 * AREA_SCALE[2])
+
+    def test_delay_decreases_with_drive(self):
+        for gate_type in (GateType.NAND2, GateType.XOR2):
+            assert DEFAULT_LIBRARY.delay(gate_type, 1) > DEFAULT_LIBRARY.delay(gate_type, 2)
+            assert DEFAULT_LIBRARY.delay(gate_type, 2) > DEFAULT_LIBRARY.delay(gate_type, 4)
+
+    def test_delay_increases_with_fanout(self):
+        assert DEFAULT_LIBRARY.delay(GateType.NAND2, 1, fanout=4) > DEFAULT_LIBRARY.delay(
+            GateType.NAND2, 1, fanout=1
+        )
+
+    def test_invalid_drive_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LIBRARY.area(GateType.INV, 3)
+        with pytest.raises(ValueError):
+            DEFAULT_LIBRARY.delay(GateType.INV, 5)
+
+    def test_xor_more_expensive_than_nand(self):
+        assert DEFAULT_LIBRARY.area(GateType.XOR2) > DEFAULT_LIBRARY.area(GateType.NAND2)
+        assert DEFAULT_LIBRARY.area(GateType.DFF) > DEFAULT_LIBRARY.area(GateType.XOR2)
+
+
+class TestAreaReport:
+    def build_sample(self):
+        builder = NetlistBuilder("sample")
+        a = builder.add_input("a")[0]
+        b = builder.add_input("b")[0]
+        x = builder.xor_(a, b)
+        y = builder.and_(a, x)
+        q = builder.register([y], "q")
+        builder.add_output(q, "q")
+        return builder.netlist
+
+    def test_total_matches_sum_of_cells(self):
+        netlist = self.build_sample()
+        report = area_report(netlist)
+        assert report.total_ge == pytest.approx(sum(report.by_cell_type.values()))
+        assert report.total_kge == pytest.approx(report.total_ge / 1000.0)
+
+    def test_cell_counts(self):
+        report = area_report(self.build_sample())
+        assert report.cell_counts["XOR2"] == 1
+        assert report.cell_counts["DFF"] == 1
+
+    def test_sequential_vs_combinational_split(self):
+        report = area_report(self.build_sample())
+        assert report.sequential_ge == pytest.approx(DEFAULT_LIBRARY.area(GateType.DFF))
+        assert report.combinational_ge == pytest.approx(report.total_ge - report.sequential_ge)
+
+    def test_format_mentions_cells(self):
+        text = area_report(self.build_sample()).format()
+        assert "XOR2" in text
+        assert "GE" in text
+
+    def test_drive_strength_counted(self):
+        netlist = self.build_sample()
+        for gate in netlist.gates.values():
+            if gate.gate_type is GateType.XOR2:
+                gate.drive = 4
+        upsized = area_report(netlist)
+        baseline = area_report(self.build_sample())
+        assert upsized.total_ge > baseline.total_ge

@@ -1,0 +1,83 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli.fault_campaign import main as fi_main
+from repro.cli.harden import FSM_REGISTRY, main as harden_main
+from repro.cli.report import main as report_main
+
+
+class TestHardenCli:
+    def test_registry_contains_benchmarks(self):
+        assert "adc_ctrl_fsm" in FSM_REGISTRY
+        assert "traffic_light" in FSM_REGISTRY
+
+    def test_harden_benchmark(self, capsys):
+        exit_code = harden_main(["--fsm", "traffic_light", "-N", "2", "--report"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Protected 'traffic_light'" in captured.out
+        assert "diffusion blocks" in captured.out
+        assert "Area report" in captured.out
+
+    def test_harden_emits_verilog(self, capsys):
+        exit_code = harden_main(["--fsm", "traffic_light", "--emit-verilog"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "module traffic_light_scfi2" in captured.out
+
+    def test_harden_from_verilog_file(self, tmp_path, capsys, traffic_light):
+        from repro.fsm.encoding import binary_encoding
+        from repro.rtl.verilog_writer import emit_fsm
+
+        source = tmp_path / "fsm.sv"
+        source.write_text(emit_fsm(traffic_light, binary_encoding(traffic_light.states), 2))
+        exit_code = harden_main(["--verilog", str(source), "-N", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "N=3" in captured.out
+
+    def test_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            harden_main([])
+
+
+class TestReportCli:
+    def test_table1_subset(self, capsys):
+        exit_code = report_main(["table1", "--modules", "ibex_lsu"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ibex_lsu" in captured.out
+        assert "Geometric Mean" in captured.out
+
+    def test_formal(self, capsys):
+        exit_code = report_main(["formal"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "formal analysis" in captured.out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            report_main(["figure9"])
+
+
+class TestFaultCampaignCli:
+    def test_exhaustive_mode(self, capsys):
+        exit_code = fi_main(["--fsm", "traffic_light", "--mode", "exhaustive"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "injections" in captured.out
+
+    def test_behavioral_mode(self, capsys):
+        exit_code = fi_main(["--fsm", "traffic_light", "--mode", "behavioral", "--trials", "50"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "trials" in captured.out
+
+    def test_random_mode(self, capsys):
+        exit_code = fi_main(
+            ["--fsm", "traffic_light", "--mode", "random", "--trials", "30", "--faults", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "injections" in captured.out

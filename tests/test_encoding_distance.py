@@ -1,0 +1,115 @@
+"""Tests for the Hamming-distance-N encodings (requirements R1/R2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import (
+    DistanceCode,
+    encode_control_symbols,
+    encode_states,
+    generate_distance_code,
+    minimum_width_for_code,
+)
+from repro.fsm.encoding import hamming_distance
+
+
+class TestGeneration:
+    @given(
+        count=st.integers(min_value=1, max_value=24),
+        distance=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60)
+    def test_pairwise_distance_holds(self, count, distance):
+        code = generate_distance_code(count, distance)
+        assert len(code) == count
+        assert code.verify()
+        if count > 1:
+            assert code.minimum_distance() >= distance
+
+    def test_zero_forbidden_by_default(self):
+        code = generate_distance_code(10, 2)
+        assert 0 not in code.codewords
+
+    def test_zero_allowed_when_requested(self):
+        code = generate_distance_code(4, 2, forbid_zero=False)
+        assert 0 in code.codewords
+
+    def test_distance_one_is_plain_enumeration(self):
+        code = generate_distance_code(4, 1, forbid_zero=False)
+        assert code.codewords == (0, 1, 2, 3)
+
+    def test_distance_two_needs_parity_bit(self):
+        # 4 codewords at HD 2 need at least 3 bits plus the zero exclusion.
+        code = generate_distance_code(4, 2)
+        assert code.width >= 3
+
+    def test_explicit_width_too_small(self):
+        with pytest.raises(ValueError):
+            generate_distance_code(8, 3, width=3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            minimum_width_for_code(0, 2)
+        with pytest.raises(ValueError):
+            minimum_width_for_code(4, 0)
+
+
+class TestMinimumWidth:
+    def test_monotone_in_count(self):
+        widths = [minimum_width_for_code(count, 2) for count in range(2, 20)]
+        assert widths == sorted(widths)
+
+    def test_monotone_in_distance(self):
+        widths = [minimum_width_for_code(8, distance) for distance in range(1, 5)]
+        assert widths == sorted(widths)
+
+    def test_known_small_values(self):
+        # Two codewords at distance N fit in N bits (zero excluded needs care).
+        assert minimum_width_for_code(2, 2, forbid_zero=False) == 2
+        assert minimum_width_for_code(2, 3, forbid_zero=False) == 3
+
+
+class TestDistanceCode:
+    def test_codeword_width_enforced(self):
+        with pytest.raises(ValueError):
+            DistanceCode(codewords=(0b1000,), width=3, distance=2)
+
+    def test_assign(self):
+        code = generate_distance_code(3, 2)
+        mapping = code.assign(["A", "B", "C"])
+        assert set(mapping) == {"A", "B", "C"}
+        assert len(set(mapping.values())) == 3
+
+    def test_assign_too_many_names(self):
+        code = generate_distance_code(2, 2)
+        with pytest.raises(ValueError):
+            code.assign(["A", "B", "C"])
+
+    def test_minimum_distance_single_word(self):
+        code = generate_distance_code(1, 3)
+        assert code.minimum_distance() == code.width
+
+
+class TestFsmFacingHelpers:
+    def test_encode_states_adds_error_state(self):
+        mapping = encode_states(["A", "B", "C"], distance=2)
+        assert "ERROR" in mapping
+        assert len(mapping) == 4
+        values = list(mapping.values())
+        for i, a in enumerate(values):
+            for b in values[i + 1 :]:
+                assert hamming_distance(a, b) >= 2
+
+    def test_encode_states_custom_error_name(self):
+        mapping = encode_states(["A"], distance=2, error_state="TRAP")
+        assert "TRAP" in mapping
+
+    def test_encode_control_symbols(self):
+        mapping = encode_control_symbols(["e0", "e1", "e2"], distance=3)
+        values = list(mapping.values())
+        for i, a in enumerate(values):
+            for b in values[i + 1 :]:
+                assert hamming_distance(a, b) >= 3
+
+    def test_encode_control_symbols_empty(self):
+        assert encode_control_symbols([], distance=2) == {}

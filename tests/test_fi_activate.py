@@ -1,0 +1,104 @@
+"""Tests for the edge-activation constraint solver."""
+
+import pytest
+
+from repro.fi.activate import activating_inputs, all_activating_inputs
+from repro.fsm.cfg import control_flow_edges
+from repro.fsm.model import FsmBuilder
+from repro.fsmlib.opentitan import opentitan_fsms
+
+
+class TestActivation:
+    @pytest.mark.parametrize("fixture_name", ["traffic_light", "uart_rx", "spi_master", "formal_fsm"])
+    def test_every_reachable_edge_gets_a_vector(self, fixture_name, request):
+        fsm = request.getfixturevalue(fixture_name)
+        for edge in control_flow_edges(fsm):
+            inputs = activating_inputs(fsm, edge)
+            assert inputs is not None, f"no activation vector for {edge}"
+            next_state, taken = fsm.next_state(edge.src, inputs)
+            assert next_state == edge.dst
+            if edge.is_stay:
+                assert taken is None
+            else:
+                assert taken is not None
+
+    @pytest.mark.parametrize("fsm", opentitan_fsms(), ids=lambda f: f.name)
+    def test_benchmark_fsms_fully_activatable(self, fsm):
+        """Every CFG edge of the OpenTitan-like controllers must be reachable."""
+        for edge in control_flow_edges(fsm):
+            inputs = activating_inputs(fsm, edge)
+            assert inputs is not None, f"{fsm.name}: no activation vector for {edge}"
+            assert fsm.next_state(edge.src, inputs)[0] == edge.dst
+
+    def test_stay_edge_falsifies_all_guards(self, uart_rx):
+        stay_edges = [e for e in control_flow_edges(uart_rx) if e.is_stay]
+        assert stay_edges
+        for edge in stay_edges:
+            inputs = activating_inputs(uart_rx, edge)
+            assert inputs is not None
+            for transition in uart_rx.transitions_from(edge.src):
+                assert not transition.guard.evaluate(inputs)
+
+    def test_shadowed_edge_returns_none(self):
+        builder = FsmBuilder("shadow")
+        builder.state("A", reset=True)
+        builder.state("B")
+        builder.state("C")
+        builder.transition("A", "B", go=1)
+        builder.transition("A", "C", go=1)  # shadowed: same guard, lower priority
+        fsm = builder.build()
+        edges = [e for e in control_flow_edges(fsm) if e.dst == "C" and not e.is_stay]
+        assert activating_inputs(fsm, edges[0]) is None
+
+    def test_unconditional_earlier_edge_blocks_everything(self):
+        builder = FsmBuilder("always_first")
+        builder.state("A", reset=True)
+        builder.state("B")
+        builder.state("C")
+        builder.always("A", "B")
+        builder.transition("A", "C", go=1)
+        fsm = builder.build()
+        blocked = [e for e in control_flow_edges(fsm) if e.dst == "C"]
+        assert activating_inputs(fsm, blocked[0]) is None
+
+    def test_backtracking_over_shared_signals(self):
+        """Falsifying guard (a & b) by pinning b=0 must not block guard (b) later."""
+        builder = FsmBuilder("backtrack")
+        builder.state("S", reset=True)
+        builder.state("T1")
+        builder.state("T2")
+        builder.state("T3")
+        builder.transition("S", "T1", a=1, b=1)
+        builder.transition("S", "T2", b=1)
+        builder.transition("S", "T3", c=1)
+        fsm = builder.build()
+        target = [e for e in control_flow_edges(fsm) if e.dst == "T3"][0]
+        inputs = activating_inputs(fsm, target)
+        assert inputs is not None
+        assert fsm.next_state("S", inputs)[0] == "T3"
+
+    def test_all_activating_inputs_skips_shadowed(self):
+        builder = FsmBuilder("mixed")
+        builder.state("A", reset=True)
+        builder.state("B")
+        builder.state("C")
+        builder.transition("A", "B", go=1)
+        builder.transition("A", "C", go=1)
+        fsm = builder.build()
+        edges = control_flow_edges(fsm)
+        vectors = all_activating_inputs(fsm, edges)
+        reachable_destinations = {edge.dst for edge in vectors}
+        assert "B" in reachable_destinations
+        assert all(edge.dst != "C" or edge.is_stay for edge in vectors)
+
+    def test_wide_signal_conflict_value(self):
+        builder = FsmBuilder("wide")
+        builder.state("A", reset=True)
+        builder.state("B")
+        builder.input("mode", width=2)
+        builder.transition("A", "B", mode=3)
+        fsm = builder.build()
+        stay = [e for e in control_flow_edges(fsm) if e.is_stay and e.src == "A"][0]
+        inputs = activating_inputs(fsm, stay)
+        assert inputs is not None
+        assert inputs["mode"] != 3

@@ -1,0 +1,138 @@
+"""Tests for the netlist-level fault injectors."""
+
+import pytest
+
+from repro.core.redundancy import RedundancyOptions, protect_fsm_redundant
+from repro.fi.activate import activating_inputs
+from repro.fi.injector import RedundantFaultInjector, ScfiFaultInjector, UnprotectedFaultInjector
+from repro.fi.model import Classification, Fault, FaultEffect
+from repro.fsm.cfg import control_flow_edges
+from repro.synth.lower import lower_fsm
+
+
+def first_real_edge(fsm):
+    for edge in control_flow_edges(fsm):
+        if not edge.is_stay:
+            inputs = activating_inputs(fsm, edge)
+            if inputs is not None:
+                return edge, inputs
+    raise AssertionError("no activatable edge found")
+
+
+class TestFaultModel:
+    def test_describe(self):
+        fault = Fault("net_x", FaultEffect.STUCK_AT_1, cycle=3)
+        assert "stuck1" in fault.describe()
+        assert "net_x" in fault.describe()
+
+    def test_outcome_is_hijack(self):
+        from repro.fi.model import FaultOutcome
+
+        outcome = FaultOutcome(
+            fault=Fault("n"),
+            source_state="A",
+            expected_state="B",
+            observed_code=3,
+            observed_state="C",
+            classification=Classification.HIJACK,
+        )
+        assert outcome.is_hijack
+
+
+class TestScfiInjector:
+    def test_no_fault_reproduces_golden(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        injector = ScfiFaultInjector(structure)
+        edge, inputs = first_real_edge(structure.hardened.fsm)
+        code = injector.next_code(edge, inputs)
+        assert code == structure.hardened.state_encoding[edge.dst]
+
+    def test_state_register_flip_detected(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        injector = ScfiFaultInjector(structure)
+        edge, inputs = first_real_edge(structure.hardened.fsm)
+        outcome = injector.classify(edge, inputs, Fault(structure.state_q[0]))
+        assert outcome.classification in (Classification.DETECTED, Classification.MASKED)
+        assert outcome.classification is Classification.DETECTED
+
+    def test_error_ok_net_flip_is_detected(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        injector = ScfiFaultInjector(structure)
+        edge, inputs = first_real_edge(structure.hardened.fsm)
+        outcome = injector.classify(edge, inputs, Fault(structure.error_ok_net))
+        assert outcome.classification is Classification.DETECTED
+
+    def test_stuck_at_matching_value_is_masked(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        hardened = structure.hardened
+        injector = ScfiFaultInjector(structure)
+        edge, inputs = first_real_edge(hardened.fsm)
+        golden_bit0 = hardened.state_encoding[edge.dst] & 1
+        fault = Fault(
+            structure.state_d[0],
+            FaultEffect.STUCK_AT_1 if golden_bit0 else FaultEffect.STUCK_AT_0,
+        )
+        outcome = injector.classify(edge, inputs, fault)
+        assert outcome.classification is Classification.MASKED
+
+    def test_diffusion_and_all_nets_lists(self, protected_traffic_light):
+        injector = ScfiFaultInjector(protected_traffic_light.structure)
+        diffusion = injector.diffusion_nets()
+        everything = injector.all_comb_nets()
+        assert diffusion
+        assert set(diffusion).issubset(set(everything))
+
+
+class TestUnprotectedInjector:
+    def test_state_register_flip_deviates_silently(self, traffic_light):
+        implementation = lower_fsm(traffic_light)
+        injector = UnprotectedFaultInjector(implementation)
+        edge, inputs = first_real_edge(traffic_light)
+        # Flipping the LSB of the next-state word moves to a neighbouring code
+        # with no detection whatsoever in the unprotected design.
+        outcome = injector.classify(edge, inputs, Fault(implementation.state_d[0]))
+        assert outcome.is_undetected_deviation
+
+    def test_no_fault_is_masked(self, traffic_light):
+        implementation = lower_fsm(traffic_light)
+        injector = UnprotectedFaultInjector(implementation)
+        edge, inputs = first_real_edge(traffic_light)
+        golden = injector.next_code(edge, inputs)
+        assert golden == implementation.encoding[edge.dst]
+
+
+class TestRedundantInjector:
+    def test_requires_redundant_netlist(self, traffic_light):
+        with pytest.raises(ValueError):
+            RedundantFaultInjector(lower_fsm(traffic_light))
+
+    def test_single_copy_fault_detected(self, traffic_light):
+        result = protect_fsm_redundant(traffic_light, RedundancyOptions(protection_level=2))
+        injector = RedundantFaultInjector(result.implementation)
+        edge, inputs = first_real_edge(traffic_light)
+        # Fault the D input of copy 0's first state bit: the copies disagree.
+        d_net = injector._d_nets_for(result.implementation.redundant_state_q[0])[0]
+        outcome = injector.classify(edge, inputs, Fault(d_net))
+        assert outcome.classification is Classification.DETECTED
+
+    def test_no_fault_is_masked(self, traffic_light):
+        result = protect_fsm_redundant(traffic_light, RedundancyOptions(protection_level=2))
+        injector = RedundantFaultInjector(result.implementation)
+        edge, inputs = first_real_edge(traffic_light)
+        outcome = injector.classify(edge, inputs, Fault("nonexistent_net_is_ignored"))
+        assert outcome.classification is Classification.MASKED
+
+    def test_common_mode_input_fault_can_escape(self, traffic_light):
+        """A fault on a shared control input hits every copy identically --
+        the structural weakness of plain redundancy."""
+        result = protect_fsm_redundant(traffic_light, RedundancyOptions(protection_level=3))
+        injector = RedundantFaultInjector(result.implementation)
+        edge, inputs = first_real_edge(traffic_light)
+        input_net = result.implementation.input_bits[edge.guard.signals()[0]][0]
+        outcome = injector.classify(edge, inputs, Fault(input_net))
+        # All copies follow the faulted control signal, so no mismatch is raised.
+        assert outcome.classification in (
+            Classification.HIJACK,
+            Classification.REDIRECTED,
+            Classification.MASKED,
+        )

@@ -1,0 +1,170 @@
+"""Tests for the FSM model, guards and builder."""
+
+import pytest
+
+from repro.fsm.model import Fsm, FsmBuilder, Guard, Signal, Transition, iter_input_assignments
+
+
+class TestSignal:
+    def test_defaults(self):
+        sig = Signal("start")
+        assert sig.width == 1
+        assert sig.max_value == 1
+
+    def test_wide_signal(self):
+        assert Signal("mode", 3).max_value == 7
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            Signal("x", 0)
+
+    def test_empty_name(self):
+        with pytest.raises(ValueError):
+            Signal("", 1)
+
+
+class TestGuard:
+    def test_true_guard(self):
+        guard = Guard.true()
+        assert guard.is_true
+        assert guard.evaluate({})
+        assert guard.evaluate({"anything": 5})
+
+    def test_literal_evaluation(self):
+        guard = Guard.of(start=1, abort=0)
+        assert guard.evaluate({"start": 1, "abort": 0})
+        assert guard.evaluate({"start": 1})  # missing signals default to 0
+        assert not guard.evaluate({"start": 0})
+        assert not guard.evaluate({"start": 1, "abort": 1})
+
+    def test_terms_sorted_and_hashable(self):
+        a = Guard.of(b=1, a=0)
+        b = Guard({"a": 0, "b": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.signals() == ["a", "b"]
+
+    def test_conjoin(self):
+        combined = Guard.of(a=1) & Guard.of(b=0)
+        assert combined.evaluate({"a": 1, "b": 0})
+        assert not combined.evaluate({"a": 1, "b": 1})
+
+    def test_conjoin_conflict(self):
+        with pytest.raises(ValueError):
+            Guard.of(a=1).conjoin(Guard.of(a=0))
+
+    def test_negative_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Guard({"a": -1})
+
+    def test_repr(self):
+        assert "true" in repr(Guard.true())
+        assert "a==1" in repr(Guard.of(a=1))
+
+
+class TestFsmValidation:
+    def test_requires_states(self):
+        with pytest.raises(ValueError):
+            Fsm("empty", [], "A")
+
+    def test_duplicate_states(self):
+        with pytest.raises(ValueError):
+            Fsm("dup", ["A", "A"], "A")
+
+    def test_reset_state_must_exist(self):
+        with pytest.raises(ValueError):
+            Fsm("bad_reset", ["A"], "B")
+
+    def test_transition_states_must_exist(self):
+        with pytest.raises(ValueError):
+            Fsm("bad_t", ["A"], "A", transitions=[Transition("A", "B")])
+
+    def test_guard_signals_must_be_inputs(self):
+        with pytest.raises(ValueError):
+            Fsm(
+                "bad_guard",
+                ["A", "B"],
+                "A",
+                inputs=[Signal("x")],
+                transitions=[Transition("A", "B", Guard.of(y=1))],
+            )
+
+    def test_moore_outputs_must_reference_outputs(self):
+        with pytest.raises(ValueError):
+            Fsm(
+                "bad_out",
+                ["A"],
+                "A",
+                outputs=[Signal("led")],
+                moore_outputs={"A": {"unknown": 1}},
+            )
+
+    def test_input_output_name_collision(self):
+        with pytest.raises(ValueError):
+            Fsm("clash", ["A"], "A", inputs=[Signal("x")], outputs=[Signal("x")])
+
+
+class TestNextState:
+    def test_priority_order(self, uart_rx):
+        # DATA has two transitions guarded on parity_en; the first match wins.
+        inputs = {"bit_tick": 1, "last_bit": 1, "parity_en": 1}
+        next_state, taken = uart_rx.next_state("DATA", inputs)
+        assert next_state == "PARITY"
+        assert taken is not None and taken.dst == "PARITY"
+
+    def test_default_stay(self, traffic_light):
+        next_state, taken = traffic_light.next_state("RED", {"timer_done": 0})
+        assert next_state == "RED"
+        assert taken is None
+
+    def test_unknown_state_rejected(self, traffic_light):
+        with pytest.raises(ValueError):
+            traffic_light.next_state("PURPLE", {})
+
+    def test_moore_output_defaults_to_zero(self, traffic_light):
+        outputs = traffic_light.moore_output("RED")
+        assert outputs["red"] == 1
+        assert outputs["green"] == 0
+
+    def test_has_default_stay(self, uart_rx):
+        assert uart_rx.has_default_stay("IDLE")
+        assert not uart_rx.has_default_stay("DONE")  # unconditional transition
+
+
+class TestBuilder:
+    def test_builder_collects_signals(self):
+        builder = FsmBuilder("demo")
+        builder.state("A", reset=True, led=1)
+        builder.transition("A", "B", go=1)
+        fsm = builder.build()
+        assert {sig.name for sig in fsm.inputs} == {"go"}
+        assert {sig.name for sig in fsm.outputs} == {"led"}
+        assert fsm.reset_state == "A"
+        assert fsm.num_states == 2
+
+    def test_builder_default_reset_is_first_state(self):
+        builder = FsmBuilder("demo")
+        builder.states("X", "Y")
+        builder.always("X", "Y")
+        assert builder.build().reset_state == "X"
+
+    def test_builder_wide_input(self):
+        builder = FsmBuilder("demo")
+        builder.state("A", reset=True)
+        builder.input("mode", width=2)
+        builder.transition("A", "A", mode=3)
+        fsm = builder.build()
+        assert fsm.input_signal("mode").width == 2
+
+
+class TestInputEnumeration:
+    def test_enumerates_all_assignments(self):
+        signals = [Signal("a"), Signal("b", 2)]
+        assignments = list(iter_input_assignments(signals))
+        assert len(assignments) == 2 * 4
+        seen = {(a["a"], a["b"]) for a in assignments}
+        assert seen == {(x, y) for x in range(2) for y in range(4)}
+
+    def test_refuses_huge_spaces(self):
+        with pytest.raises(ValueError):
+            list(iter_input_assignments([Signal("wide", 21)]))

@@ -1,0 +1,108 @@
+"""Tests for the behavioural FSM simulator."""
+
+import pytest
+
+from repro.fsm.encoding import (
+    binary_encoding,
+    binary_width,
+    encoding_width,
+    gray_encoding,
+    hamming_distance,
+    minimum_distance,
+    one_hot_encoding,
+)
+from repro.fsm.simulate import FsmSimulator, random_input_sequence
+
+
+class TestSimulator:
+    def test_starts_in_reset_state(self, traffic_light):
+        sim = FsmSimulator(traffic_light)
+        assert sim.state == "RED"
+        assert sim.cycle == 0
+
+    def test_invalid_initial_state(self, traffic_light):
+        with pytest.raises(ValueError):
+            FsmSimulator(traffic_light, initial_state="BLUE")
+
+    def test_step_advances_state_and_cycle(self, traffic_light):
+        sim = FsmSimulator(traffic_light)
+        step = sim.step({"timer_done": 1})
+        assert step.state == "RED"
+        assert step.next_state == "GREEN"
+        assert step.outputs["red"] == 1
+        assert sim.state == "GREEN"
+        assert sim.cycle == 1
+
+    def test_reset(self, traffic_light):
+        sim = FsmSimulator(traffic_light)
+        sim.step({"timer_done": 1})
+        sim.reset()
+        assert sim.state == "RED"
+        assert sim.cycle == 0
+
+    def test_run_produces_trace(self, traffic_light):
+        sim = FsmSimulator(traffic_light)
+        trace = sim.run([{"timer_done": 1}, {"ped_request": 1}, {"timer_done": 1}])
+        assert len(trace) == 3
+        assert trace.states == ["RED", "GREEN", "YELLOW", "RED"]
+        assert trace.final_state == "RED"
+
+    def test_empty_trace_final_state(self, traffic_light):
+        sim = FsmSimulator(traffic_light)
+        trace = sim.run([])
+        assert trace.states == []
+        with pytest.raises(ValueError):
+            _ = trace.final_state
+
+    def test_full_walk_through_uart(self, uart_rx):
+        sim = FsmSimulator(uart_rx)
+        sequence = [
+            {"rx_falling": 1},
+            {"bit_tick": 1},
+            {"bit_tick": 1, "last_bit": 1, "parity_en": 1},
+            {"bit_tick": 1},
+            {"bit_tick": 1},
+            {},
+        ]
+        trace = sim.run(sequence)
+        assert trace.states == ["IDLE", "START", "DATA", "PARITY", "STOP", "DONE", "IDLE"]
+
+    def test_random_sequence_reproducible(self, uart_rx):
+        a = random_input_sequence(uart_rx, 20, seed=7)
+        b = random_input_sequence(uart_rx, 20, seed=7)
+        c = random_input_sequence(uart_rx, 20, seed=8)
+        assert a == b
+        assert a != c
+        assert len(a) == 20
+        assert set(a[0]) == {sig.name for sig in uart_rx.inputs}
+
+
+class TestClassicalEncodings:
+    def test_binary_width(self):
+        assert binary_width(1) == 1
+        assert binary_width(2) == 1
+        assert binary_width(3) == 2
+        assert binary_width(16) == 4
+        assert binary_width(17) == 5
+
+    def test_binary_width_rejects_zero(self):
+        with pytest.raises(ValueError):
+            binary_width(0)
+
+    def test_binary_encoding_is_enumeration(self):
+        enc = binary_encoding(["A", "B", "C"])
+        assert enc == {"A": 0, "B": 1, "C": 2}
+
+    def test_gray_encoding_adjacent_distance(self):
+        enc = gray_encoding([f"S{i}" for i in range(8)])
+        codes = [enc[f"S{i}"] for i in range(8)]
+        for a, b in zip(codes, codes[1:]):
+            assert hamming_distance(a, b) == 1
+
+    def test_one_hot_distance_two(self):
+        enc = one_hot_encoding(["A", "B", "C", "D"])
+        assert minimum_distance(enc) == 2
+        assert encoding_width(enc) == 4
+
+    def test_minimum_distance_single_state(self):
+        assert minimum_distance({"A": 3}) == 0

@@ -1,0 +1,106 @@
+"""Tests for the benchmark FSM library."""
+
+import pytest
+
+from repro.fsm.cfg import reachable_states, transition_count, unreachable_states, validate_determinism
+from repro.fsm.simulate import FsmSimulator
+from repro.fsmlib import formal_analysis_fsm, spi_master_fsm, traffic_light_fsm, uart_rx_fsm
+from repro.fsmlib.opentitan import (
+    OPENTITAN_MODULE_AREAS_GE,
+    opentitan_fsms,
+    opentitan_module_models,
+)
+
+ALL_FSMS = opentitan_fsms() + [
+    formal_analysis_fsm(),
+    traffic_light_fsm(),
+    uart_rx_fsm(),
+    spi_master_fsm(),
+]
+
+
+class TestStructuralSanity:
+    @pytest.mark.parametrize("fsm", ALL_FSMS, ids=lambda f: f.name)
+    def test_validates_and_fully_reachable(self, fsm):
+        fsm.validate()
+        assert unreachable_states(fsm) == set()
+        assert reachable_states(fsm) == set(fsm.states)
+
+    @pytest.mark.parametrize("fsm", ALL_FSMS, ids=lambda f: f.name)
+    def test_no_shadowed_transitions(self, fsm):
+        assert validate_determinism(fsm) == []
+
+    @pytest.mark.parametrize("fsm", opentitan_fsms(), ids=lambda f: f.name)
+    def test_reset_state_declared_first_or_named(self, fsm):
+        assert fsm.reset_state in fsm.states
+
+
+class TestOpenTitanControllers:
+    def test_all_seven_modules_present(self):
+        names = {fsm.name for fsm in opentitan_fsms()}
+        assert names == set(OPENTITAN_MODULE_AREAS_GE)
+
+    def test_state_counts_match_documented_controllers(self):
+        counts = {fsm.name: fsm.num_states for fsm in opentitan_fsms()}
+        assert counts["adc_ctrl_fsm"] >= 13
+        assert counts["aes_control"] >= 8
+        assert counts["i2c_fsm"] >= 15
+        assert counts["ibex_controller"] >= 9
+        assert counts["ibex_lsu"] >= 5
+        assert counts["otbn_controller"] >= 5
+        assert counts["pwrmgr_fsm"] >= 12
+
+    def test_module_models_reference_paper_areas(self):
+        for model in opentitan_module_models():
+            assert model.module_area_ge == OPENTITAN_MODULE_AREAS_GE[model.fsm.name]
+            assert model.datapath_depth > 0
+
+    def test_pwrmgr_power_up_sequence(self):
+        fsm = [f for f in opentitan_fsms() if f.name == "pwrmgr_fsm"][0]
+        simulator = FsmSimulator(fsm)
+        sequence = [
+            {"pwr_up_req": 1},
+            {"clks_stable": 1},
+            {"lc_rst_done": 1},
+            {"otp_done": 1},
+            {"lc_done": 1},
+            {},
+            {"rom_good": 1},
+        ]
+        trace = simulator.run(sequence)
+        assert trace.final_state == "ACTIVE"
+
+    def test_otbn_locks_on_fatal_error(self):
+        fsm = [f for f in opentitan_fsms() if f.name == "otbn_controller"][0]
+        simulator = FsmSimulator(fsm)
+        trace = simulator.run([{"start": 1}, {"urnd_ack": 1}, {"fatal_err": 1}, {}])
+        assert trace.final_state == "LOCKED"
+        # LOCKED is terminal: nothing leaves it.
+        assert fsm.next_state("LOCKED", {"start": 1})[0] == "LOCKED"
+
+    def test_ibex_lsu_misaligned_sequence(self):
+        fsm = [f for f in opentitan_fsms() if f.name == "ibex_lsu"][0]
+        simulator = FsmSimulator(fsm)
+        trace = simulator.run(
+            [
+                {"lsu_req": 1, "misaligned": 1},
+                {"gnt": 1},
+                {"gnt": 1},
+                {"rvalid": 1},
+            ]
+        )
+        assert trace.states == [
+            "IDLE",
+            "WAIT_GNT_MIS",
+            "WAIT_RVALID_MIS",
+            "WAIT_RVALID_MIS_GNTS_DONE",
+            "IDLE",
+        ]
+
+
+class TestFormalFsm:
+    def test_exactly_fourteen_cfg_edges(self):
+        assert transition_count(formal_analysis_fsm()) == 14
+
+    def test_five_states(self):
+        assert formal_analysis_fsm().num_states == 5

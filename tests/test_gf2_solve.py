@@ -1,0 +1,130 @@
+"""Tests for Gaussian elimination, solving and inversion over GF(2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg import BitMatrix, gf2_inverse, gf2_null_space, gf2_rank, gf2_row_reduce, gf2_solve
+from repro.linalg.solve import gf2_is_invertible
+
+
+def random_matrix_strategy(max_dim=6):
+    return st.integers(min_value=1, max_value=max_dim).flatmap(
+        lambda rows: st.integers(min_value=1, max_value=max_dim).flatmap(
+            lambda cols: st.lists(
+                st.lists(st.integers(min_value=0, max_value=1), min_size=cols, max_size=cols),
+                min_size=rows,
+                max_size=rows,
+            )
+        )
+    )
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert gf2_rank(BitMatrix.identity(5)) == 5
+
+    def test_zero_matrix(self):
+        assert gf2_rank(BitMatrix.zeros(3, 4)) == 0
+
+    def test_duplicate_rows(self):
+        assert gf2_rank(BitMatrix([[1, 1, 0], [1, 1, 0]])) == 1
+
+    @given(data=random_matrix_strategy())
+    @settings(max_examples=50)
+    def test_rank_bounded_by_dimensions(self, data):
+        m = BitMatrix(data)
+        assert 0 <= gf2_rank(m) <= min(m.rows, m.cols)
+
+    @given(data=random_matrix_strategy())
+    @settings(max_examples=50)
+    def test_rank_invariant_under_transpose(self, data):
+        m = BitMatrix(data)
+        assert gf2_rank(m) == gf2_rank(m.transpose())
+
+
+class TestRowReduce:
+    def test_pivots_are_increasing(self):
+        m = BitMatrix([[0, 1, 1], [1, 1, 0], [1, 0, 1]])
+        _, pivots = gf2_row_reduce(m)
+        assert pivots == sorted(pivots)
+
+    def test_reduced_rows_have_unit_pivots(self):
+        m = BitMatrix([[1, 1], [1, 0]])
+        reduced, pivots = gf2_row_reduce(m)
+        for row_index, col in enumerate(pivots):
+            assert reduced.data[row_index, col] == 1
+            # The pivot column is zero everywhere else.
+            assert sum(reduced.column(col)) == 1
+
+
+class TestSolve:
+    def test_simple_system(self):
+        # x0 ^ x1 = 1, x1 = 1  ->  x0 = 0, x1 = 1
+        matrix = BitMatrix([[1, 1], [0, 1]])
+        assert gf2_solve(matrix, [1, 1]) == [0, 1]
+
+    def test_inconsistent_system(self):
+        matrix = BitMatrix([[1, 1], [1, 1]])
+        assert gf2_solve(matrix, [0, 1]) is None
+
+    def test_underdetermined_system_returns_some_solution(self):
+        matrix = BitMatrix([[1, 1, 0]])
+        solution = gf2_solve(matrix, [1])
+        assert solution is not None
+        assert matrix.multiply_vector(solution) == [1]
+
+    def test_rhs_length_check(self):
+        with pytest.raises(ValueError):
+            gf2_solve(BitMatrix.identity(2), [1])
+
+    @given(data=random_matrix_strategy(), seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=60)
+    def test_solution_of_consistent_system_verifies(self, data, seed):
+        import random
+
+        matrix = BitMatrix(data)
+        rng = random.Random(seed)
+        x = [rng.randint(0, 1) for _ in range(matrix.cols)]
+        rhs = matrix.multiply_vector(x)
+        solution = gf2_solve(matrix, rhs)
+        assert solution is not None
+        assert matrix.multiply_vector(solution) == rhs
+
+
+class TestInverse:
+    def test_identity_inverse(self):
+        assert gf2_inverse(BitMatrix.identity(4)) == BitMatrix.identity(4)
+
+    def test_known_inverse(self):
+        m = BitMatrix([[1, 1], [0, 1]])
+        inverse = gf2_inverse(m)
+        assert inverse is not None
+        assert (m @ inverse) == BitMatrix.identity(2)
+
+    def test_singular_returns_none(self):
+        assert gf2_inverse(BitMatrix([[1, 1], [1, 1]])) is None
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            gf2_inverse(BitMatrix.zeros(2, 3))
+
+    def test_is_invertible_helper(self):
+        assert gf2_is_invertible(BitMatrix.identity(3))
+        assert not gf2_is_invertible(BitMatrix.zeros(3, 3))
+        assert not gf2_is_invertible(BitMatrix.zeros(2, 3))
+
+
+class TestNullSpace:
+    def test_full_rank_square_has_trivial_null_space(self):
+        assert gf2_null_space(BitMatrix.identity(3)) == []
+
+    def test_null_space_vectors_map_to_zero(self):
+        m = BitMatrix([[1, 1, 0], [0, 0, 1]])
+        basis = gf2_null_space(m)
+        assert len(basis) == 1
+        for vector in basis:
+            assert all(v == 0 for v in m.multiply_vector(vector))
+
+    def test_null_space_dimension(self):
+        m = BitMatrix([[1, 1, 1, 1]])
+        assert len(gf2_null_space(m)) == 3

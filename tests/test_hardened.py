@@ -1,0 +1,165 @@
+"""Tests for the behavioural hardened FSM (phi_FH semantics)."""
+
+import pytest
+
+from repro.core.hardened import HardenedFsm
+from repro.fsm.cfg import control_flow_edges
+from repro.fsm.encoding import hamming_distance
+from repro.fsm.model import FsmBuilder
+from repro.fsm.simulate import FsmSimulator, random_input_sequence
+from repro.fi.activate import activating_inputs
+
+
+class TestConstruction:
+    def test_basic_properties(self, traffic_light):
+        hardened = HardenedFsm.from_fsm(traffic_light, protection_level=2)
+        assert hardened.protection_level == 2
+        assert hardened.error_state == "ERROR"
+        assert hardened.error_code == hardened.state_encoding["ERROR"]
+        assert hardened.state_width >= 3
+        assert len(hardened.transitions) == len(control_flow_edges(traffic_light))
+
+    @pytest.mark.parametrize("level", [1, 2, 3, 4])
+    def test_state_encoding_distance(self, uart_rx, level):
+        hardened = HardenedFsm.from_fsm(uart_rx, protection_level=level)
+        codes = list(hardened.state_encoding.values())
+        for i, a in enumerate(codes):
+            for b in codes[i + 1 :]:
+                assert hamming_distance(a, b) >= level
+
+    @pytest.mark.parametrize("level", [2, 3])
+    def test_control_encoding_distance(self, uart_rx, level):
+        hardened = HardenedFsm.from_fsm(uart_rx, protection_level=level)
+        codes = list(hardened.control_encoding.values())
+        for i, a in enumerate(codes):
+            for b in codes[i + 1 :]:
+                assert hamming_distance(a, b) >= level
+
+    def test_zero_is_never_a_valid_state(self, uart_rx):
+        hardened = HardenedFsm.from_fsm(uart_rx, protection_level=2)
+        assert 0 not in hardened.state_encoding.values()
+
+    def test_error_state_name_avoids_collision(self):
+        builder = FsmBuilder("clash")
+        builder.state("ERROR", reset=True)
+        builder.state("OK")
+        builder.transition("ERROR", "OK", go=1)
+        hardened = HardenedFsm.from_fsm(builder.build(), protection_level=2)
+        assert hardened.error_state == "SCFI_ERROR"
+
+    def test_invalid_protection_level(self, traffic_light):
+        with pytest.raises(ValueError):
+            HardenedFsm.from_fsm(traffic_light, protection_level=0)
+
+    def test_decode_helpers(self, traffic_light):
+        hardened = HardenedFsm.from_fsm(traffic_light, protection_level=2)
+        for name, code in hardened.state_encoding.items():
+            assert hardened.decode_state(code) == name
+            assert hardened.is_valid_code(code)
+        assert hardened.decode_state(0) is None
+        assert sorted(hardened.valid_codes()) == sorted(hardened.state_encoding.values())
+
+
+class TestFaultFreeEquivalence:
+    @pytest.mark.parametrize("fixture_name", ["traffic_light", "uart_rx", "spi_master", "formal_fsm"])
+    @pytest.mark.parametrize("level", [2, 3])
+    def test_matches_unprotected_fsm(self, fixture_name, level, request):
+        fsm = request.getfixturevalue(fixture_name)
+        hardened = HardenedFsm.from_fsm(fsm, protection_level=level)
+        sequence = random_input_sequence(fsm, 150, seed=23)
+        golden = FsmSimulator(fsm).run(sequence)
+        protected = hardened.run(sequence)
+        for golden_step, protected_step in zip(golden.steps, protected):
+            assert not protected_step.error_detected
+            assert protected_step.next_state == golden_step.next_state
+
+    def test_every_edge_maps_to_its_target(self, uart_rx):
+        hardened = HardenedFsm.from_fsm(uart_rx, protection_level=2)
+        for edge in control_flow_edges(uart_rx):
+            inputs = activating_inputs(uart_rx, edge)
+            if inputs is None:
+                continue
+            result = hardened.next_state(edge.src, inputs)
+            assert not result.error_detected
+            assert result.next_state == edge.dst
+            assert result.taken_edge == edge
+
+    def test_error_state_is_terminal(self, traffic_light):
+        hardened = HardenedFsm.from_fsm(traffic_light, protection_level=2)
+        result = hardened.next_state("ERROR", {"timer_done": 1})
+        assert result.next_state == "ERROR"
+        assert not result.error_detected
+
+
+class TestFaultBehaviour:
+    def test_single_state_flip_is_always_detected(self, traffic_light):
+        """FT1 with fewer than N flips lands outside the codebook -> trap (Figure 4)."""
+        hardened = HardenedFsm.from_fsm(traffic_light, protection_level=2)
+        for edge in control_flow_edges(traffic_light):
+            inputs = activating_inputs(traffic_light, edge)
+            if inputs is None:
+                continue
+            for bit in range(hardened.state_width):
+                result = hardened.next_state(edge.src, inputs, state_flip_mask=1 << bit)
+                assert result.error_detected
+                assert result.next_state == hardened.error_state
+
+    def test_n_state_flips_can_reach_other_valid_state(self, traffic_light):
+        """With N flips the register can land on another valid codeword: the
+        residual attack the encoding is sized against."""
+        hardened = HardenedFsm.from_fsm(traffic_light, protection_level=2)
+        source = "RED"
+        source_code = hardened.state_encoding[source]
+        other = next(s for s in traffic_light.states if s != source)
+        mask = source_code ^ hardened.state_encoding[other]
+        assert bin(mask).count("1") >= 2
+        result = hardened.next_state(source, {"timer_done": 0}, state_flip_mask=mask)
+        # Execution continues from the (valid) faulted state, so no error fires.
+        assert not result.error_detected
+
+    def test_single_control_flip_never_leaves_the_cfg(self, uart_rx):
+        """FT2 with fewer than N flips cannot select a foreign transition; at
+        worst it suppresses the intended transition (the Section 7 limitation)."""
+        hardened = HardenedFsm.from_fsm(uart_rx, protection_level=2)
+        successors = {
+            state: {t.next_state for t in hardened.transitions.values() if t.edge.src == state}
+            for state in uart_rx.states
+        }
+        total = 0
+        for edge in control_flow_edges(uart_rx):
+            inputs = activating_inputs(uart_rx, edge)
+            if inputs is None:
+                continue
+            for signal in uart_rx.inputs:
+                for bit in range(signal.width * 2):
+                    result = hardened.next_state(
+                        edge.src, inputs, input_flip_masks={signal.name: 1 << bit}
+                    )
+                    total += 1
+                    if result.error_detected:
+                        continue
+                    assert result.next_state in successors[edge.src]
+        assert total > 0
+
+    def test_diffusion_output_fault_detected(self, traffic_light):
+        hardened = HardenedFsm.from_fsm(traffic_light, protection_level=2)
+        edge = next(e for e in control_flow_edges(traffic_light) if not e.is_stay)
+        inputs = activating_inputs(traffic_light, edge)
+        block = hardened.layout.blocks[0]
+        # Flip one of the error-detection output bits directly (an FT3 fault).
+        flips = [0] * hardened.layout.num_blocks
+        flips[0] = 1 << block.error_out_positions[0]
+        result = hardened.next_state(edge.src, inputs, block_output_flips=flips)
+        assert result.error_detected
+        assert result.next_state == hardened.error_state
+
+    def test_compute_phi_matches_transition_table(self, uart_rx):
+        hardened = HardenedFsm.from_fsm(uart_rx, protection_level=2)
+        for transition in hardened.transitions.values():
+            code, errors_ok = hardened.compute_phi(
+                hardened.state_encoding[transition.edge.src],
+                transition.control_code,
+                transition.modifiers,
+            )
+            assert errors_ok
+            assert code == transition.next_code

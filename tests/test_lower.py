@@ -1,0 +1,111 @@
+"""Tests for FSM lowering: unprotected netlists and the redundancy baseline."""
+
+import pytest
+
+from repro.fsm.simulate import FsmSimulator, random_input_sequence
+from repro.netlist.area import area_report
+from repro.netlist.simulate import NetlistSimulator
+from repro.synth.lower import lower_fsm, lower_fsm_redundant
+
+
+def run_lockstep(fsm, implementation, sequence):
+    """Simulate the netlist against the behavioural model; return mismatches."""
+    golden = FsmSimulator(fsm)
+    simulator = NetlistSimulator(implementation.netlist)
+    simulator.set_register_word(implementation.state_q, implementation.encoding[fsm.reset_state])
+    mismatches = 0
+    for inputs in sequence:
+        step = golden.step(inputs)
+        simulator.step(implementation.input_vector(inputs))
+        observed = simulator.read_register_word(implementation.state_q)
+        if observed != implementation.encoding[step.next_state]:
+            mismatches += 1
+    return mismatches
+
+
+class TestUnprotectedLowering:
+    @pytest.mark.parametrize("fixture_name", ["traffic_light", "uart_rx", "spi_master"])
+    def test_netlist_matches_behaviour(self, fixture_name, request):
+        fsm = request.getfixturevalue(fixture_name)
+        implementation = lower_fsm(fsm)
+        sequence = random_input_sequence(fsm, 120, seed=11)
+        assert run_lockstep(fsm, implementation, sequence) == 0
+
+    def test_state_register_width(self, uart_rx):
+        implementation = lower_fsm(uart_rx)
+        assert implementation.state_width == 3  # 6 states -> 3 bits
+        assert len(implementation.state_q) == 3
+
+    def test_moore_outputs(self, traffic_light):
+        implementation = lower_fsm(traffic_light)
+        simulator = NetlistSimulator(implementation.netlist)
+        simulator.set_register_word(
+            implementation.state_q, implementation.encoding["GREEN"]
+        )
+        values = simulator.evaluate({})
+        green_bits = implementation.output_bits["green"]
+        red_bits = implementation.output_bits["red"]
+        assert simulator.read_word(values, green_bits) == 1
+        assert simulator.read_word(values, red_bits) == 0
+
+    def test_custom_encoding_respected(self, traffic_light):
+        encoding = {"RED": 1, "GREEN": 2, "YELLOW": 4}
+        implementation = lower_fsm(traffic_light, encoding=encoding)
+        assert implementation.encoding == encoding
+        assert implementation.state_width == 3
+        sequence = random_input_sequence(traffic_light, 60, seed=2)
+        assert run_lockstep(traffic_light, implementation, sequence) == 0
+
+    def test_decode_state_helper(self, traffic_light):
+        implementation = lower_fsm(traffic_light)
+        assert implementation.decode_state(implementation.encoding["RED"]) == "RED"
+        assert implementation.decode_state(99) is None
+
+    def test_input_vector_expansion(self, uart_rx):
+        implementation = lower_fsm(uart_rx)
+        vector = implementation.input_vector({"rx_falling": 1})
+        assert vector[implementation.input_bits["rx_falling"][0]] == 1
+        assert vector[implementation.input_bits["bit_tick"][0]] == 0
+
+
+class TestRedundantLowering:
+    def test_copies_validated(self, traffic_light):
+        with pytest.raises(ValueError):
+            lower_fsm_redundant(traffic_light, copies=0)
+
+    def test_area_grows_roughly_linearly(self, uart_rx):
+        areas = [
+            area_report(lower_fsm_redundant(uart_rx, copies=n).netlist).total_ge
+            for n in (1, 2, 3, 4)
+        ]
+        assert areas == sorted(areas)
+        increments = [b - a for a, b in zip(areas, areas[1:])]
+        # Every additional copy costs roughly the same additional logic.
+        assert max(increments) < 1.5 * min(increments)
+
+    def test_behavioural_equivalence_of_copy_zero(self, uart_rx):
+        implementation = lower_fsm_redundant(uart_rx, copies=3)
+        sequence = random_input_sequence(uart_rx, 80, seed=5)
+        assert run_lockstep(uart_rx, implementation, sequence) == 0
+
+    def test_error_signal_low_without_faults(self, traffic_light):
+        implementation = lower_fsm_redundant(traffic_light, copies=2)
+        simulator = NetlistSimulator(implementation.netlist)
+        for copy_q in implementation.redundant_state_q:
+            simulator.set_register_word(copy_q, implementation.encoding["RED"])
+        values = simulator.evaluate(implementation.input_vector({"timer_done": 1}))
+        assert values[implementation.error_net] == 0
+
+    def test_error_signal_raised_on_register_mismatch(self, traffic_light):
+        implementation = lower_fsm_redundant(traffic_light, copies=2)
+        simulator = NetlistSimulator(implementation.netlist)
+        simulator.set_register_word(implementation.redundant_state_q[0], implementation.encoding["RED"])
+        simulator.set_register_word(implementation.redundant_state_q[1], implementation.encoding["GREEN"])
+        values = simulator.evaluate(implementation.input_vector({}))
+        assert values[implementation.error_net] == 1
+
+    def test_single_copy_has_constant_zero_error(self, traffic_light):
+        implementation = lower_fsm_redundant(traffic_light, copies=1)
+        simulator = NetlistSimulator(implementation.netlist)
+        values = simulator.evaluate(implementation.input_vector({}))
+        assert values[implementation.error_net] == 0

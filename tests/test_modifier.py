@@ -1,0 +1,112 @@
+"""Tests for the per-transition modifier solver (requirement R4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.layout import plan_layout
+from repro.core.modifier import ModifierSolver
+
+
+def evaluate_phi(layout, solver, state_code, control_code, modifiers):
+    """Reference evaluation of phi_FH for a full layout."""
+    next_code = 0
+    errors_ok = True
+    for block in layout.blocks:
+        outputs = solver.evaluate_block(block, state_code, control_code, modifiers[block.index])
+        extracted = solver.extract_outputs(block, outputs)
+        next_code |= extracted["state_slice"]
+        errors_ok = errors_ok and bool(extracted["error_bits_ok"])
+    return next_code, errors_ok
+
+
+@pytest.fixture(scope="module")
+def small_layout():
+    return plan_layout(state_width=5, control_width=6, error_bits=2)
+
+
+@pytest.fixture(scope="module")
+def wide_layout():
+    return plan_layout(state_width=11, control_width=13, error_bits=2)
+
+
+class TestCollisionProperty:
+    @given(
+        state=st.integers(min_value=0, max_value=31),
+        control=st.integers(min_value=0, max_value=63),
+        target=st.integers(min_value=0, max_value=31),
+    )
+    @settings(max_examples=80)
+    def test_modifier_steers_to_target(self, state, control, target):
+        layout = plan_layout(state_width=5, control_width=6, error_bits=2)
+        solver = ModifierSolver(layout)
+        modifiers = solver.solve_edge(state, control, target)
+        observed, errors_ok = evaluate_phi(layout, solver, state, control, modifiers)
+        assert observed == target
+        assert errors_ok
+
+    def test_collision_for_merging_paths(self, small_layout):
+        """Two different {state, control} pairs can reach the same next state (R4)."""
+        solver = ModifierSolver(small_layout)
+        target = 0b10110
+        mods_a = solver.solve_edge(0b00001, 0b000011, target)
+        mods_b = solver.solve_edge(0b01010, 0b110000, target)
+        observed_a, _ = evaluate_phi(small_layout, solver, 0b00001, 0b000011, mods_a)
+        observed_b, _ = evaluate_phi(small_layout, solver, 0b01010, 0b110000, mods_b)
+        assert observed_a == observed_b == target
+        assert mods_a != mods_b
+
+    def test_wide_layout_multi_block(self, wide_layout):
+        solver = ModifierSolver(wide_layout)
+        rng = random.Random(0)
+        for _ in range(20):
+            state = rng.randrange(1 << 11)
+            control = rng.randrange(1 << 13)
+            target = rng.randrange(1 << 11)
+            modifiers = solver.solve_edge(state, control, target)
+            observed, errors_ok = evaluate_phi(wide_layout, solver, state, control, modifiers)
+            assert observed == target
+            assert errors_ok
+
+    def test_modifiers_only_use_effective_positions(self, small_layout):
+        solver = ModifierSolver(small_layout)
+        block = small_layout.blocks[0]
+        modifier = solver.solve_block(block, 0b11111, 0b101010, 0b01010)
+        allowed_mask = 0
+        for position in block.modifier_in_positions:
+            allowed_mask |= 1 << (position - 16)
+        assert modifier & ~allowed_mask == 0
+
+
+class TestFaultVisibility:
+    def test_input_fault_disturbs_output(self, small_layout):
+        """Any single-bit input fault must change the diffused output (MDS avalanche)."""
+        solver = ModifierSolver(small_layout)
+        block = small_layout.blocks[0]
+        modifiers = solver.solve_edge(0b00110, 0b010101, 0b11000)
+        clean = solver.evaluate_block(block, 0b00110, 0b010101, modifiers[0])
+        for fault_bit in range(16):  # state + control share bits
+            faulty = solver.evaluate_block(
+                block, 0b00110, 0b010101, modifiers[0], input_fault_mask=1 << fault_bit
+            )
+            flipped = sum(1 for a, b in zip(clean, faulty) if a != b)
+            # A branch-number-5 matrix spreads any single input bit into every
+            # output word, i.e. at least four flipped output bits.
+            assert flipped >= 4
+
+    def test_output_fault_mask_applied(self, small_layout):
+        solver = ModifierSolver(small_layout)
+        block = small_layout.blocks[0]
+        clean = solver.evaluate_block(block, 1, 1, 0)
+        faulty = solver.evaluate_block(block, 1, 1, 0, output_fault_mask=0b1)
+        assert clean[0] != faulty[0]
+        assert clean[1:] == faulty[1:]
+
+    def test_error_bits_set_to_one_in_fault_free_case(self, small_layout):
+        solver = ModifierSolver(small_layout)
+        block = small_layout.blocks[0]
+        modifiers = solver.solve_edge(0b00011, 0b000111, 0b01100)
+        outputs = solver.evaluate_block(block, 0b00011, 0b000111, modifiers[0])
+        for position in block.error_out_positions:
+            assert outputs[position] == 1

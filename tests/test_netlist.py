@@ -1,0 +1,152 @@
+"""Tests for the gate-level netlist container and gate primitives."""
+
+import pytest
+
+from repro.netlist.gates import Gate, GateType
+from repro.netlist.netlist import Netlist, connect
+
+
+def tiny_netlist() -> Netlist:
+    netlist = Netlist("tiny")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate(Gate("g_and", GateType.AND2, ["a", "b"], "ab"))
+    netlist.add_gate(Gate("g_inv", GateType.INV, ["ab"], "nab"))
+    netlist.add_gate(Gate("g_ff", GateType.DFF, ["nab"], "q"))
+    netlist.add_output("nab")
+    return netlist
+
+
+class TestGate:
+    def test_input_count_enforced(self):
+        with pytest.raises(ValueError):
+            Gate("bad", GateType.AND2, ["a"], "y")
+
+    def test_output_required(self):
+        with pytest.raises(ValueError):
+            Gate("bad", GateType.INV, ["a"], "")
+
+    def test_drive_strength_validated(self):
+        with pytest.raises(ValueError):
+            Gate("bad", GateType.INV, ["a"], "y", drive=3)
+
+    @pytest.mark.parametrize(
+        "gate_type,inputs,expected",
+        [
+            (GateType.AND2, [1, 1], 1),
+            (GateType.AND2, [1, 0], 0),
+            (GateType.NAND2, [1, 1], 0),
+            (GateType.OR2, [0, 0], 0),
+            (GateType.NOR2, [0, 0], 1),
+            (GateType.XOR2, [1, 0], 1),
+            (GateType.XOR2, [1, 1], 0),
+            (GateType.XNOR2, [1, 1], 1),
+            (GateType.INV, [0], 1),
+            (GateType.BUF, [1], 1),
+            (GateType.MUX2, [1, 0, 0], 1),  # sel=0 -> a
+            (GateType.MUX2, [1, 0, 1], 0),  # sel=1 -> b
+        ],
+    )
+    def test_evaluate(self, gate_type, inputs, expected):
+        names = [f"i{k}" for k in range(len(inputs))]
+        gate = Gate("g", gate_type, names, "y")
+        assert gate.evaluate(inputs) == expected
+
+    def test_constant_gates(self):
+        assert Gate("t0", GateType.TIE0, [], "z").evaluate([]) == 0
+        assert Gate("t1", GateType.TIE1, [], "o").evaluate([]) == 1
+
+
+class TestNetlist:
+    def test_single_driver_enforced(self):
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        with pytest.raises(ValueError):
+            netlist.add_input("a")
+        netlist.add_gate(Gate("g", GateType.INV, ["a"], "y"))
+        with pytest.raises(ValueError):
+            netlist.add_gate(Gate("g2", GateType.BUF, ["a"], "y"))
+
+    def test_duplicate_gate_name(self):
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        netlist.add_gate(Gate("g", GateType.INV, ["a"], "y"))
+        with pytest.raises(ValueError):
+            netlist.add_gate(Gate("g", GateType.INV, ["a"], "z"))
+
+    def test_driver_of(self):
+        netlist = tiny_netlist()
+        assert netlist.driver_of("ab").name == "g_and"
+        assert netlist.driver_of("a") is None
+
+    def test_queries(self):
+        netlist = tiny_netlist()
+        assert len(netlist.combinational_gates()) == 2
+        assert len(netlist.flops()) == 1
+        assert netlist.flop_outputs() == ["q"]
+        assert netlist.count(GateType.AND2) == 1
+        assert netlist.cell_histogram()[GateType.INV] == 1
+        assert "nab" in netlist.nets()
+
+    def test_fanout(self):
+        netlist = tiny_netlist()
+        assert netlist.fanout_count("ab") == 1
+        assert netlist.fanout_count("nab") == 2  # DFF input + primary output
+        assert netlist.fanout_map()["a"][0].name == "g_and"
+
+    def test_validate_detects_undriven_input(self):
+        netlist = Netlist("broken")
+        netlist.add_gate(Gate("g", GateType.INV, ["missing"], "y"))
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+    def test_validate_detects_undriven_output(self):
+        netlist = Netlist("broken")
+        netlist.add_output("nowhere")
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+    def test_topological_order(self):
+        netlist = tiny_netlist()
+        order = [g.name for g in netlist.topological_order()]
+        assert order.index("g_and") < order.index("g_inv")
+
+    def test_combinational_cycle_detected(self):
+        netlist = Netlist("loop")
+        netlist.add_gate(Gate("g1", GateType.INV, ["b"], "a"))
+        netlist.add_gate(Gate("g2", GateType.INV, ["a"], "b"))
+        with pytest.raises(ValueError):
+            netlist.topological_order()
+
+    def test_sequential_loop_is_fine(self):
+        netlist = Netlist("counter")
+        netlist.add_gate(Gate("ff", GateType.DFF, ["d"], "q"))
+        netlist.add_gate(Gate("inv", GateType.INV, ["q"], "d"))
+        netlist.validate()
+        assert len(netlist.topological_order()) == 1
+
+    def test_remove_gate(self):
+        netlist = tiny_netlist()
+        netlist.remove_gate("g_inv")
+        assert "g_inv" not in netlist.gates
+        assert netlist.driver_of("nab") is None
+
+    def test_merge_with_prefix(self):
+        a = tiny_netlist()
+        b = tiny_netlist()
+        target = Netlist("top")
+        target.add_input("a")
+        target.add_input("b")
+        rename = target.merge(a, prefix="u0_")
+        assert rename["ab"] == "u0_ab"
+        assert "u0_g_and" in target.gates
+        # Merging a second copy with a different prefix must not collide.
+        target.merge(b, prefix="u1_")
+        assert "u1_g_and" in target.gates
+
+    def test_connect_helper(self):
+        netlist = Netlist("n")
+        netlist.add_input("src")
+        connect(netlist, "src", "dst")
+        netlist.add_output("dst")
+        netlist.validate()

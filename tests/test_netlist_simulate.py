@@ -1,0 +1,148 @@
+"""Tests for the levelised simulator and its fault-injection hooks."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import Gate, GateType
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import FaultSet, NetlistSimulator, injectable_nets
+
+
+def xor_chain_netlist():
+    """q <= a ^ b, with an intermediate inverter pair to have internal nets."""
+    builder = NetlistBuilder("chain")
+    a = builder.add_input("a")[0]
+    b = builder.add_input("b")[0]
+    x = builder.xor_(a, b)
+    inv1 = builder.not_(x)
+    inv2 = builder.not_(inv1)
+    q = builder.register([inv2], "q")
+    builder.add_output(q, "q_out")
+    return builder, {"a": a, "b": b, "x": x, "inv1": inv1, "inv2": inv2, "q": q[0]}
+
+
+class TestFaultSet:
+    def test_empty(self):
+        assert FaultSet(frozenset(), {}).is_empty
+
+    def test_flip(self):
+        faults = FaultSet.single_flip("n1")
+        assert faults.apply("n1", 0) == 1
+        assert faults.apply("n1", 1) == 0
+        assert faults.apply("other", 1) == 1
+
+    def test_stuck(self):
+        faults = FaultSet.stuck("n1", 0)
+        assert faults.apply("n1", 1) == 0
+        assert faults.apply("n1", 0) == 0
+
+    def test_stuck_takes_precedence_over_flip(self):
+        faults = FaultSet(flips=frozenset(["n1"]), stuck_at={"n1": 1})
+        assert faults.apply("n1", 0) == 1
+
+    def test_flips_of(self):
+        faults = FaultSet.flips_of(["a", "b"])
+        assert faults.apply("a", 0) == 1
+        assert faults.apply("b", 1) == 0
+
+
+class TestSimulator:
+    def test_combinational_evaluation(self):
+        builder, nets = xor_chain_netlist()
+        simulator = NetlistSimulator(builder.netlist)
+        values = simulator.evaluate({"a": 1, "b": 0})
+        assert values[nets["x"]] == 1
+        assert values[nets["inv2"]] == 1
+
+    def test_missing_inputs_default_to_zero(self):
+        builder, nets = xor_chain_netlist()
+        simulator = NetlistSimulator(builder.netlist)
+        assert simulator.evaluate({})[nets["x"]] == 0
+
+    def test_step_updates_registers(self):
+        builder, nets = xor_chain_netlist()
+        simulator = NetlistSimulator(builder.netlist)
+        simulator.step({"a": 1, "b": 0})
+        assert simulator.registers[nets["q"]] == 1
+        simulator.step({"a": 0, "b": 0})
+        assert simulator.registers[nets["q"]] == 0
+
+    def test_register_override_per_evaluation(self):
+        builder, nets = xor_chain_netlist()
+        simulator = NetlistSimulator(builder.netlist)
+        values = simulator.evaluate({}, registers={nets["q"]: 1})
+        assert values[nets["q"]] == 1
+        # The stored state is untouched.
+        assert simulator.registers[nets["q"]] == 0
+
+    def test_set_registers_validation(self):
+        builder, _ = xor_chain_netlist()
+        simulator = NetlistSimulator(builder.netlist)
+        with pytest.raises(KeyError):
+            simulator.set_registers({"not_a_flop": 1})
+
+    def test_register_word_helpers(self):
+        builder = NetlistBuilder("regs")
+        d = builder.add_input("d", 4)
+        q = builder.register(d, "r")
+        builder.add_output(q, "ro")
+        simulator = NetlistSimulator(builder.netlist)
+        simulator.set_register_word(q, 0b1011)
+        assert simulator.read_register_word(q) == 0b1011
+
+    def test_next_register_values_does_not_commit(self):
+        builder, nets = xor_chain_netlist()
+        simulator = NetlistSimulator(builder.netlist)
+        next_values = simulator.next_register_values({"a": 1, "b": 0})
+        assert next_values[nets["q"]] == 1
+        assert simulator.registers[nets["q"]] == 0
+
+
+class TestFaultInjection:
+    def test_flip_on_internal_net_propagates(self):
+        builder, nets = xor_chain_netlist()
+        simulator = NetlistSimulator(builder.netlist)
+        clean = simulator.evaluate({"a": 1, "b": 0})
+        faulty = simulator.evaluate({"a": 1, "b": 0}, faults=FaultSet.single_flip(nets["inv1"]))
+        assert clean[nets["inv2"]] != faulty[nets["inv2"]]
+
+    def test_flip_on_primary_input(self):
+        builder, nets = xor_chain_netlist()
+        simulator = NetlistSimulator(builder.netlist)
+        faulty = simulator.evaluate({"a": 1, "b": 0}, faults=FaultSet.single_flip("a"))
+        assert faulty[nets["x"]] == 0
+
+    def test_stuck_at_on_register_output(self):
+        builder, nets = xor_chain_netlist()
+        simulator = NetlistSimulator(builder.netlist)
+        values = simulator.evaluate({}, faults=FaultSet.stuck(nets["q"], 1))
+        assert values[nets["q"]] == 1
+
+    def test_double_flip_cancels_on_same_path(self):
+        builder, nets = xor_chain_netlist()
+        simulator = NetlistSimulator(builder.netlist)
+        clean = simulator.evaluate({"a": 1, "b": 1})
+        faulty = simulator.evaluate(
+            {"a": 1, "b": 1}, faults=FaultSet.flips_of([nets["inv1"], nets["x"]])
+        )
+        # Flipping both the XOR output and the inverter output restores the value.
+        assert clean[nets["inv2"]] == faulty[nets["inv2"]]
+
+
+class TestInjectableNets:
+    def test_constants_excluded(self):
+        netlist = Netlist("n")
+        netlist.add_gate(Gate("tie", GateType.TIE1, [], "one"))
+        netlist.add_gate(Gate("buf", GateType.BUF, ["one"], "y"))
+        netlist.add_output("y")
+        nets = injectable_nets(netlist)
+        assert "one" not in nets
+        assert "y" in nets
+
+    def test_inputs_optional(self):
+        builder, _ = xor_chain_netlist()
+        without = injectable_nets(builder.netlist)
+        with_inputs = injectable_nets(builder.netlist, include_inputs=True)
+        assert "a" not in without
+        assert "a" in with_inputs
+        assert set(without).issubset(set(with_inputs))

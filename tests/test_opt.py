@@ -1,0 +1,146 @@
+"""Tests for the post-mapping logic optimisation passes."""
+
+import copy
+import random
+
+import pytest
+
+from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.fsm.random_fsm import random_fsm
+from repro.netlist.area import area_report
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import NetlistSimulator
+from repro.synth.lower import lower_fsm
+from repro.synth.opt import optimize_netlist
+
+
+def next_state_function(netlist: Netlist, inputs, registers):
+    """Evaluate the D pins of every flop for one input/register assignment."""
+    simulator = NetlistSimulator(netlist)
+    values = simulator.evaluate(inputs, registers=registers)
+    return {flop.name: values[flop.inputs[0]] for flop in netlist.flops()}
+
+
+def assert_sequentially_equivalent(original: Netlist, optimized: Netlist, seed: int = 0, samples: int = 40):
+    """Check by simulation that the optimisation preserved every D function."""
+    rng = random.Random(seed)
+    original_flops = {flop.name for flop in original.flops()}
+    optimized_flops = {flop.name for flop in optimized.flops()}
+    assert original_flops == optimized_flops
+    inputs = original.primary_inputs
+    register_nets = original.flop_outputs()
+    for _ in range(samples):
+        input_values = {net: rng.randint(0, 1) for net in inputs}
+        register_values = {net: rng.randint(0, 1) for net in register_nets}
+        before = next_state_function(original, input_values, register_values)
+        after = next_state_function(optimized, input_values, register_values)
+        assert before == after
+
+
+class TestLocalRules:
+    def test_and_with_constant_zero_folds(self):
+        builder = NetlistBuilder("fold")
+        a = builder.add_input("a")[0]
+        zero = builder.const_bit(0)
+        out = builder.and_(a, zero)
+        builder.netlist.add_output(out)
+        report = optimize_netlist(builder.netlist)
+        assert report.constants_folded >= 1
+        assert builder.netlist.count(GateType.AND2) == 0
+
+    def test_xor_with_constant_one_becomes_inverter(self):
+        builder = NetlistBuilder("fold")
+        a = builder.add_input("a")[0]
+        one = builder.const_bit(1)
+        out = builder.xor_(a, one)
+        builder.netlist.add_output(out)
+        optimize_netlist(builder.netlist)
+        assert builder.netlist.count(GateType.XOR2) == 0
+        assert builder.netlist.count(GateType.INV) == 1
+
+    def test_mux_with_constant_select_folds(self):
+        builder = NetlistBuilder("fold")
+        a = builder.add_input("a")[0]
+        b = builder.add_input("b")[0]
+        out = builder.mux(a, b, builder.const_bit(1))
+        q = builder.register([out], "q")
+        builder.add_output(q, "q")
+        optimize_netlist(builder.netlist)
+        assert builder.netlist.count(GateType.MUX2) == 0
+        # The flop must now be fed (possibly through nothing at all) by b.
+        flop = builder.netlist.flops()[0]
+        assert flop.inputs[0] == b
+
+    def test_double_inverter_removed(self):
+        builder = NetlistBuilder("fold")
+        a = builder.add_input("a")[0]
+        twice = builder.not_(builder.not_(a))
+        q = builder.register([twice], "q")
+        builder.add_output(q, "q")
+        report = optimize_netlist(builder.netlist)
+        assert report.inverter_pairs_removed >= 1
+        assert builder.netlist.count(GateType.INV) == 0
+
+    def test_dead_logic_removed(self):
+        builder = NetlistBuilder("dead")
+        a = builder.add_input("a")[0]
+        b = builder.add_input("b")[0]
+        builder.and_(a, b)  # never observed
+        out = builder.or_(a, b)
+        builder.netlist.add_output(out)
+        report = optimize_netlist(builder.netlist)
+        assert report.dead_gates_removed >= 1
+        assert builder.netlist.count(GateType.AND2) == 0
+
+    def test_report_format(self):
+        builder = NetlistBuilder("fold")
+        a = builder.add_input("a")[0]
+        builder.netlist.add_output(builder.and_(a, builder.const_bit(1)))
+        report = optimize_netlist(builder.netlist)
+        text = report.format()
+        assert "->" in text
+        assert report.gates_removed >= 0
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("fixture_name", ["traffic_light", "uart_rx", "spi_master"])
+    def test_unprotected_netlists_unchanged_behaviour(self, fixture_name, request):
+        fsm = request.getfixturevalue(fixture_name)
+        original = lower_fsm(fsm).netlist
+        optimized = copy.deepcopy(original)
+        report = optimize_netlist(optimized)
+        assert report.gates_after <= report.gates_before
+        assert_sequentially_equivalent(original, optimized, seed=1)
+
+    @pytest.mark.parametrize("level", [2, 3])
+    def test_scfi_netlists_unchanged_behaviour(self, traffic_light, level):
+        original = protect_fsm(
+            traffic_light, ScfiOptions(protection_level=level, generate_verilog=False)
+        ).netlist
+        optimized = copy.deepcopy(original)
+        optimize_netlist(optimized)
+        assert_sequentially_equivalent(original, optimized, seed=2)
+
+    @pytest.mark.parametrize("seed", [11, 37, 91])
+    def test_random_fsm_netlists_unchanged_behaviour(self, seed):
+        fsm = random_fsm(seed, num_states=5, num_inputs=3)
+        original = protect_fsm(fsm, ScfiOptions(protection_level=2, generate_verilog=False)).netlist
+        optimized = copy.deepcopy(original)
+        optimize_netlist(optimized)
+        assert_sequentially_equivalent(original, optimized, seed=seed)
+
+    def test_optimisation_reduces_scfi_area(self, uart_rx):
+        original = protect_fsm(uart_rx, ScfiOptions(protection_level=2, generate_verilog=False)).netlist
+        optimized = copy.deepcopy(original)
+        optimize_netlist(optimized)
+        assert area_report(optimized).total_ge < area_report(original).total_ge
+
+    def test_idempotent(self, traffic_light):
+        netlist = copy.deepcopy(lower_fsm(traffic_light).netlist)
+        optimize_netlist(netlist)
+        gates_after_first = len(netlist.gates)
+        report = optimize_netlist(netlist)
+        assert len(netlist.gates) == gates_after_first
+        assert report.gates_removed == 0

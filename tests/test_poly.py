@@ -1,0 +1,132 @@
+"""Tests for GF(2) polynomial arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fields.poly import (
+    poly_add,
+    poly_degree,
+    poly_divmod,
+    poly_gcd,
+    poly_is_irreducible,
+    poly_mod,
+    poly_mul,
+    poly_to_string,
+)
+
+SMALL_POLYS = st.integers(min_value=0, max_value=0xFFFF)
+NONZERO_POLYS = st.integers(min_value=1, max_value=0xFFFF)
+
+
+class TestDegree:
+    def test_zero_polynomial(self):
+        assert poly_degree(0) == -1
+
+    def test_constant_one(self):
+        assert poly_degree(1) == 0
+
+    def test_x_cubed(self):
+        assert poly_degree(0b1000) == 3
+
+    def test_scfi_polynomial(self):
+        assert poly_degree(0b100000101) == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            poly_degree(-1)
+
+
+class TestAddMul:
+    def test_add_is_xor(self):
+        assert poly_add(0b1010, 0b0110) == 0b1100
+
+    def test_add_self_cancels(self):
+        assert poly_add(0b1011, 0b1011) == 0
+
+    def test_mul_by_zero(self):
+        assert poly_mul(0b1011, 0) == 0
+
+    def test_mul_by_one(self):
+        assert poly_mul(0b1011, 1) == 0b1011
+
+    def test_mul_x_times_x(self):
+        assert poly_mul(0b10, 0b10) == 0b100
+
+    def test_known_product(self):
+        # (X + 1)(X + 1) = X^2 + 1 over GF(2)
+        assert poly_mul(0b11, 0b11) == 0b101
+
+    @given(a=SMALL_POLYS, b=SMALL_POLYS)
+    def test_mul_commutative(self, a, b):
+        assert poly_mul(a, b) == poly_mul(b, a)
+
+    @given(a=SMALL_POLYS, b=SMALL_POLYS, c=SMALL_POLYS)
+    def test_mul_distributes_over_add(self, a, b, c):
+        assert poly_mul(a, poly_add(b, c)) == poly_add(poly_mul(a, b), poly_mul(a, c))
+
+
+class TestDivMod:
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod(0b101, 0)
+
+    @given(a=SMALL_POLYS, b=NONZERO_POLYS)
+    def test_divmod_identity(self, a, b):
+        quotient, remainder = poly_divmod(a, b)
+        assert poly_add(poly_mul(quotient, b), remainder) == a
+        assert poly_degree(remainder) < poly_degree(b)
+
+    def test_mod_smaller_is_identity(self):
+        assert poly_mod(0b101, 0b100000101) == 0b101
+
+
+class TestGcd:
+    def test_gcd_with_zero(self):
+        assert poly_gcd(0b1011, 0) == 0b1011
+
+    def test_gcd_of_multiples(self):
+        # gcd(X^2 + X, X) == X
+        assert poly_gcd(0b110, 0b10) == 0b10
+
+    @given(a=NONZERO_POLYS, b=NONZERO_POLYS)
+    def test_gcd_divides_both(self, a, b):
+        g = poly_gcd(a, b)
+        assert poly_divmod(a, g)[1] == 0
+        assert poly_divmod(b, g)[1] == 0
+
+
+class TestIrreducibility:
+    def test_scfi_poly_is_not_irreducible(self):
+        # X^8 + X^2 + 1 = (X^4 + X + 1)^2, the point the word-ring docs make.
+        assert not poly_is_irreducible(0b100000101)
+
+    def test_aes_poly_is_irreducible(self):
+        assert poly_is_irreducible(0b100011011)
+
+    def test_degree_one_is_irreducible(self):
+        assert poly_is_irreducible(0b10)
+        assert poly_is_irreducible(0b11)
+
+    def test_factor_of_scfi_poly_is_irreducible(self):
+        assert poly_is_irreducible(0b10011)  # X^4 + X + 1
+
+    def test_even_poly_reducible(self):
+        assert not poly_is_irreducible(0b110)  # X^2 + X = X(X+1)
+
+    def test_constant_not_irreducible(self):
+        assert not poly_is_irreducible(1)
+        assert not poly_is_irreducible(0)
+
+
+class TestToString:
+    def test_zero(self):
+        assert poly_to_string(0) == "0"
+
+    def test_scfi_poly(self):
+        assert poly_to_string(0b100000101) == "X^8 + X^2 + 1"
+
+    def test_linear(self):
+        assert poly_to_string(0b10) == "X"
+
+    def test_custom_variable(self):
+        assert poly_to_string(0b110, variable="a") == "a^2 + a"

@@ -1,0 +1,110 @@
+"""Property-based tests: the protection passes over randomly generated FSMs.
+
+These are the strongest correctness checks in the suite: for arbitrary
+controller shapes the SCFI pass must (a) preserve the fault-free control flow
+both behaviourally and structurally, (b) keep the distance-N guarantees of the
+encodings, and (c) detect every single-bit state-register fault.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hardened import HardenedFsm
+from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.fi.activate import activating_inputs
+from repro.fsm.cfg import control_flow_edges, reachable_states, validate_determinism
+from repro.fsm.encoding import hamming_distance
+from repro.fsm.model import Fsm
+from repro.fsm.random_fsm import RandomFsmSpec, generate_random_fsm, random_fsm
+from repro.fsm.simulate import FsmSimulator, random_input_sequence
+from repro.netlist.simulate import NetlistSimulator
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+class TestGenerator:
+    @given(seed=SEEDS, num_states=st.integers(min_value=2, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_fsms_are_well_formed(self, seed, num_states):
+        fsm = random_fsm(seed, num_states=num_states)
+        assert isinstance(fsm, Fsm)
+        assert fsm.num_states == num_states
+        assert reachable_states(fsm) == set(fsm.states)
+        assert validate_determinism(fsm) == []
+
+    def test_generation_is_deterministic(self):
+        a = generate_random_fsm(RandomFsmSpec(seed=42))
+        b = generate_random_fsm(RandomFsmSpec(seed=42))
+        assert a.states == b.states
+        assert [(t.src, t.dst, t.guard.terms) for t in a.transitions] == [
+            (t.src, t.dst, t.guard.terms) for t in b.transitions
+        ]
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            RandomFsmSpec(num_states=1)
+        with pytest.raises(ValueError):
+            RandomFsmSpec(num_inputs=0)
+
+
+class TestBehaviouralEquivalence:
+    @given(seed=SEEDS, level=st.integers(min_value=2, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_hardened_fsm_matches_original(self, seed, level):
+        fsm = random_fsm(seed)
+        hardened = HardenedFsm.from_fsm(fsm, protection_level=level)
+        stimulus = random_input_sequence(fsm, 60, seed=seed + 1)
+        golden = FsmSimulator(fsm).run(stimulus)
+        protected = hardened.run(stimulus)
+        for golden_step, protected_step in zip(golden.steps, protected):
+            assert not protected_step.error_detected
+            assert protected_step.next_state == golden_step.next_state
+
+    @given(seed=SEEDS, level=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_encoding_distances_hold(self, seed, level):
+        fsm = random_fsm(seed)
+        hardened = HardenedFsm.from_fsm(fsm, protection_level=level)
+        state_codes = list(hardened.state_encoding.values())
+        for i, a in enumerate(state_codes):
+            for b in state_codes[i + 1 :]:
+                assert hamming_distance(a, b) >= level
+        control_codes = list(hardened.control_encoding.values())
+        for i, a in enumerate(control_codes):
+            for b in control_codes[i + 1 :]:
+                assert hamming_distance(a, b) >= level
+
+    @given(seed=SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_single_register_faults_always_detected(self, seed):
+        fsm = random_fsm(seed)
+        hardened = HardenedFsm.from_fsm(fsm, protection_level=2)
+        for edge in control_flow_edges(fsm):
+            inputs = activating_inputs(fsm, edge)
+            if inputs is None:
+                continue
+            for bit in range(hardened.state_width):
+                outcome = hardened.next_state(edge.src, inputs, state_flip_mask=1 << bit)
+                assert outcome.error_detected
+
+
+class TestStructuralEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=10, deadline=None)
+    def test_netlist_matches_hardened_model(self, seed):
+        fsm = random_fsm(seed, num_states=5, num_inputs=3)
+        result = protect_fsm(fsm, ScfiOptions(protection_level=2, generate_verilog=False))
+        structure = result.structure
+        hardened = result.hardened
+        simulator = NetlistSimulator(structure.netlist)
+        for edge in control_flow_edges(fsm):
+            inputs = activating_inputs(fsm, edge)
+            if inputs is None:
+                continue
+            registers = {
+                net: (hardened.state_encoding[edge.src] >> i) & 1
+                for i, net in enumerate(structure.state_q)
+            }
+            values = simulator.evaluate(structure.encode_inputs(dict(inputs)), registers=registers)
+            observed = simulator.read_word(values, structure.state_d)
+            assert observed == hardened.state_encoding[edge.dst]

@@ -1,0 +1,107 @@
+"""Tests for the user-facing SCFI pass and the redundancy baseline wrapper."""
+
+import pytest
+
+from repro.core.mds import default_mds_matrix
+from repro.core.redundancy import RedundancyOptions, protect_fsm_redundant
+from repro.core.scfi import ScfiOptions, ScfiResult, protect_fsm
+from repro.fields import AES_POLY, WordRing
+from repro.netlist.area import area_report
+
+
+class TestOptions:
+    def test_defaults(self):
+        options = ScfiOptions()
+        assert options.protection_level == 2
+        assert options.error_bits == 3
+        assert options.share_xors
+        assert options.repair_diffusion
+
+    def test_invalid_protection_level(self):
+        with pytest.raises(ValueError):
+            ScfiOptions(protection_level=0)
+
+    def test_invalid_error_bits(self):
+        with pytest.raises(ValueError):
+            ScfiOptions(error_bits=-1)
+
+    def test_redundancy_options_validation(self):
+        with pytest.raises(ValueError):
+            RedundancyOptions(protection_level=0)
+
+
+class TestProtectFsm:
+    def test_result_contents(self, traffic_light):
+        result = protect_fsm(traffic_light)
+        assert isinstance(result, ScfiResult)
+        assert result.fsm is traffic_light
+        assert result.hardened.protection_level == 2
+        assert result.netlist is not None
+        assert result.area.total_ge > 0
+        assert result.state_width == result.hardened.state_width
+        assert result.num_diffusion_blocks >= 1
+
+    def test_verilog_view(self, traffic_light):
+        result = protect_fsm(traffic_light)
+        assert result.verilog is not None
+        assert "traffic_light_scfi2" in result.verilog
+        assert "ERROR" in result.verilog
+        assert "fsm_alert" in result.verilog
+
+    def test_netlist_generation_can_be_disabled(self, traffic_light):
+        result = protect_fsm(
+            traffic_light, ScfiOptions(generate_netlist=False, generate_verilog=False)
+        )
+        assert result.structure is None
+        assert result.netlist is None
+        with pytest.raises(ValueError):
+            _ = result.area
+
+    def test_custom_mds_matrix(self, traffic_light):
+        matrix = default_mds_matrix(WordRing(AES_POLY))
+        result = protect_fsm(
+            traffic_light, ScfiOptions(matrix=matrix, generate_verilog=False)
+        )
+        assert result.hardened.layout.matrix is matrix
+
+    @pytest.mark.parametrize("level", [1, 2, 3, 4])
+    def test_protection_levels(self, traffic_light, level):
+        result = protect_fsm(
+            traffic_light, ScfiOptions(protection_level=level, generate_verilog=False)
+        )
+        assert result.hardened.protection_level == level
+
+    def test_area_cached(self, protected_traffic_light):
+        assert protected_traffic_light.area is protected_traffic_light.area
+
+
+class TestRedundancyBaseline:
+    def test_result_contents(self, traffic_light):
+        result = protect_fsm_redundant(traffic_light, RedundancyOptions(protection_level=3))
+        assert result.options.protection_level == 3
+        assert result.netlist is not None
+        assert result.area.total_ge > 0
+        assert result.error_net is not None
+
+    def test_default_options(self, traffic_light):
+        result = protect_fsm_redundant(traffic_light)
+        assert result.options.protection_level == 2
+
+    def test_linear_area_scaling_vs_scfi(self, uart_rx):
+        """The headline claim: SCFI scales better with N than redundancy."""
+        unprotected = protect_fsm_redundant(uart_rx, RedundancyOptions(protection_level=1))
+        base = unprotected.area.total_ge
+        redundancy_growth = []
+        scfi_growth = []
+        for level in (2, 3, 4):
+            redundancy = protect_fsm_redundant(uart_rx, RedundancyOptions(protection_level=level))
+            scfi = protect_fsm(uart_rx, ScfiOptions(protection_level=level, generate_verilog=False))
+            redundancy_growth.append(redundancy.area.total_ge - base)
+            scfi_growth.append(scfi.area.total_ge - base)
+        # Redundancy adds roughly one more FSM instance per level.
+        step_1 = redundancy_growth[1] - redundancy_growth[0]
+        step_2 = redundancy_growth[2] - redundancy_growth[1]
+        assert step_1 > 0 and step_2 > 0
+        # SCFI's increments are much smaller than a whole extra instance.
+        assert scfi_growth[1] - scfi_growth[0] < step_1
+        assert scfi_growth[2] - scfi_growth[1] < step_2

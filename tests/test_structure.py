@@ -1,0 +1,128 @@
+"""Tests for the structural (gate-level) SCFI netlist generator."""
+
+import pytest
+
+from repro.core.hardened import HardenedFsm
+from repro.core.structure import build_scfi_netlist
+from repro.fi.activate import activating_inputs
+from repro.fsm.cfg import control_flow_edges
+from repro.netlist.area import area_report
+from repro.netlist.gates import GateType
+from repro.netlist.simulate import NetlistSimulator
+
+
+def next_code_on_netlist(structure, edge, raw_inputs, registers_code=None):
+    """Evaluate the protected netlist for one transition; return the D value."""
+    simulator = NetlistSimulator(structure.netlist)
+    state_code = (
+        registers_code
+        if registers_code is not None
+        else structure.hardened.state_encoding[edge.src]
+    )
+    registers = {net: (state_code >> i) & 1 for i, net in enumerate(structure.state_q)}
+    values = simulator.evaluate(
+        structure.encode_inputs(dict(raw_inputs)), registers=registers
+    )
+    return simulator.read_word(values, structure.state_d), values
+
+
+class TestStructuralEquivalence:
+    @pytest.mark.parametrize("fixture_name", ["traffic_light", "uart_rx", "spi_master"])
+    @pytest.mark.parametrize("level", [2, 3])
+    def test_every_edge_produces_target_code(self, fixture_name, level, request):
+        fsm = request.getfixturevalue(fixture_name)
+        hardened = HardenedFsm.from_fsm(fsm, protection_level=level)
+        structure = build_scfi_netlist(hardened)
+        for edge in control_flow_edges(fsm):
+            inputs = activating_inputs(fsm, edge)
+            if inputs is None:
+                continue
+            code, _ = next_code_on_netlist(structure, edge, inputs)
+            assert code == hardened.state_encoding[edge.dst]
+
+    def test_unshared_xor_variant_equivalent(self, traffic_light):
+        hardened = HardenedFsm.from_fsm(traffic_light, protection_level=2)
+        shared = build_scfi_netlist(hardened, share_xors=True)
+        unshared = build_scfi_netlist(hardened, share_xors=False)
+        for edge in control_flow_edges(traffic_light):
+            inputs = activating_inputs(traffic_light, edge)
+            if inputs is None:
+                continue
+            code_a, _ = next_code_on_netlist(shared, edge, inputs)
+            code_b, _ = next_code_on_netlist(unshared, edge, inputs)
+            assert code_a == code_b
+
+    def test_error_state_loaded_stays_in_error(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        hardened = structure.hardened
+        edge = control_flow_edges(hardened.fsm)[0]
+        code, values = next_code_on_netlist(
+            structure, edge, {"timer_done": 1}, registers_code=hardened.error_code
+        )
+        assert code == hardened.error_code
+        assert values[structure.alert_net] == 0
+
+    def test_invalid_state_raises_alert_and_traps(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        hardened = structure.hardened
+        invalid_code = 0  # zero is never a valid codeword
+        edge = control_flow_edges(hardened.fsm)[0]
+        code, values = next_code_on_netlist(
+            structure, edge, {"timer_done": 1}, registers_code=invalid_code
+        )
+        assert values[structure.alert_net] == 1
+        assert code == hardened.error_code
+
+    def test_alert_low_for_valid_states(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        hardened = structure.hardened
+        for state in hardened.fsm.states:
+            edge = control_flow_edges(hardened.fsm)[0]
+            _, values = next_code_on_netlist(
+                structure, edge, {}, registers_code=hardened.state_encoding[state]
+            )
+            assert values[structure.alert_net] == 0
+
+
+class TestNetlistStructure:
+    def test_netlist_validates(self, protected_uart):
+        protected_uart.structure.netlist.validate()
+
+    def test_state_register_width(self, protected_uart):
+        structure = protected_uart.structure
+        assert len(structure.state_q) == structure.hardened.state_width
+        assert structure.netlist.count(GateType.DFF) == structure.hardened.state_width
+
+    def test_diffusion_nets_are_xor_gates(self, protected_uart):
+        structure = protected_uart.structure
+        assert structure.diffusion_nets
+        for net in structure.diffusion_nets:
+            driver = structure.netlist.driver_of(net)
+            assert driver is not None
+            assert driver.gate_type is GateType.XOR2
+
+    def test_match_nets_cover_every_edge(self, protected_uart):
+        structure = protected_uart.structure
+        edges = control_flow_edges(structure.hardened.fsm)
+        assert set(structure.match_nets) == {(e.src, e.index) for e in edges}
+
+    def test_encoded_inputs_replicate_bits(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        assignment = structure.encode_inputs({"timer_done": 1, "ped_request": 0})
+        timer_nets = structure.input_bits["timer_done"]
+        assert len(timer_nets) == 2  # 1-bit signal replicated N=2 times
+        assert all(assignment[net] == 1 for net in timer_nets)
+        assert all(assignment[net] == 0 for net in structure.input_bits["ped_request"])
+
+    def test_moore_outputs_present(self, protected_traffic_light):
+        netlist = protected_traffic_light.structure.netlist
+        assert netlist.primary_outputs  # alert + state + traffic light outputs
+
+    def test_area_scales_with_protection_level(self, uart_rx):
+        areas = []
+        for level in (2, 3, 4):
+            hardened = HardenedFsm.from_fsm(uart_rx, protection_level=level)
+            areas.append(area_report(build_scfi_netlist(hardened).netlist).total_ge)
+        assert areas[0] < areas[1] < areas[2]
+        # SCFI's area grows far slower than linear replication would.
+        assert areas[2] < 2.0 * areas[0]

@@ -1,0 +1,130 @@
+"""Tests for static timing analysis, logic depth and timing-driven sizing."""
+
+import pytest
+
+from repro.netlist.area import area_report
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.celllib import DEFAULT_LIBRARY
+from repro.netlist.generic import generate_datapath, pad_netlist_to
+from repro.netlist.timing import TimingAnalyzer, logic_depth
+from repro.synth.lower import lower_fsm
+from repro.synth.sizing import size_for_period
+
+
+def chain_netlist(length: int):
+    """A register-to-register inverter chain of the given combinational length."""
+    builder = NetlistBuilder(f"chain{length}")
+    d_in = builder.add_input("d")[0]
+    q = builder.register([d_in], "src")[0]
+    net = q
+    for _ in range(length):
+        net = builder.not_(net)
+    builder.register([net], "dst")
+    return builder.netlist
+
+
+class TestTimingAnalysis:
+    def test_longer_chain_has_longer_path(self):
+        short = TimingAnalyzer(chain_netlist(4)).analyze()
+        long = TimingAnalyzer(chain_netlist(16)).analyze()
+        assert long.critical_path_ps > short.critical_path_ps
+        assert long.min_clock_period_ps > short.min_clock_period_ps
+
+    def test_min_period_includes_flop_overheads(self):
+        report = TimingAnalyzer(chain_netlist(1)).analyze()
+        library = DEFAULT_LIBRARY
+        assert report.min_clock_period_ps >= library.dff_clk_to_q_ps + library.dff_setup_ps
+
+    def test_critical_path_gates_exist(self):
+        netlist = chain_netlist(6)
+        analyzer = TimingAnalyzer(netlist)
+        report = analyzer.analyze()
+        assert len(report.critical_path) == 6
+        for gate_name in report.critical_path:
+            assert gate_name in netlist.gates
+        assert len(analyzer.critical_gates()) == 6
+
+    def test_max_frequency(self):
+        report = TimingAnalyzer(chain_netlist(4)).analyze()
+        assert report.max_frequency_mhz == pytest.approx(1e6 / report.min_clock_period_ps)
+
+    def test_logic_depth(self):
+        assert logic_depth(chain_netlist(5)) == 5
+        assert logic_depth(chain_netlist(1)) == 1
+
+    def test_fsm_netlist_depth_positive(self, traffic_light):
+        netlist = lower_fsm(traffic_light).netlist
+        assert logic_depth(netlist) > 2
+
+
+class TestSizing:
+    def test_relaxed_target_keeps_baseline_area(self):
+        netlist = chain_netlist(10)
+        baseline = area_report(netlist).total_ge
+        result = size_for_period(netlist, target_period_ps=1e6)
+        assert result.met_timing
+        assert result.upsized_gates == 0
+        assert result.area_ge == pytest.approx(baseline)
+
+    def test_tight_target_costs_area(self):
+        netlist = chain_netlist(20)
+        relaxed = size_for_period(netlist, target_period_ps=1e6)
+        tight_period = relaxed.achieved_period_ps * 0.8
+        tight = size_for_period(netlist, tight_period)
+        assert tight.area_ge > relaxed.area_ge
+        assert tight.achieved_period_ps < relaxed.achieved_period_ps
+        assert tight.upsized_gates > 0
+
+    def test_original_netlist_not_mutated(self):
+        netlist = chain_netlist(10)
+        before = {name: gate.drive for name, gate in netlist.gates.items()}
+        size_for_period(netlist, target_period_ps=100.0)
+        after = {name: gate.drive for name, gate in netlist.gates.items()}
+        assert before == after
+
+    def test_impossible_target_reports_not_met(self):
+        result = size_for_period(chain_netlist(30), target_period_ps=100.0)
+        assert not result.met_timing
+        assert result.achieved_period_ps > 100.0
+
+    def test_area_time_product(self):
+        result = size_for_period(chain_netlist(5), target_period_ps=1e5)
+        assert result.area_time_product == pytest.approx(
+            result.area_ge * result.achieved_period_ps / 1000.0
+        )
+
+
+class TestGenericDatapath:
+    def test_reaches_target_area(self):
+        netlist = generate_datapath("dp", target_ge=400.0, seed=3)
+        assert area_report(netlist).total_ge >= 400.0
+        netlist.validate()
+
+    def test_deterministic_per_seed(self):
+        a = generate_datapath("dp", 200.0, seed=5)
+        b = generate_datapath("dp", 200.0, seed=5)
+        c = generate_datapath("dp", 200.0, seed=6)
+        assert sorted(a.gates) == sorted(b.gates)
+        assert sorted(a.gates) != sorted(c.gates)
+
+    def test_depth_parameter_limits_path(self):
+        shallow = generate_datapath("dp", 500.0, depth=8, seed=1)
+        deep = generate_datapath("dp", 500.0, depth=30, seed=1)
+        assert logic_depth(shallow) <= logic_depth(deep)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            generate_datapath("dp", 0.0)
+
+    def test_pad_netlist_to_target(self, traffic_light):
+        fsm_netlist = lower_fsm(traffic_light).netlist
+        original = area_report(fsm_netlist).total_ge
+        padded = pad_netlist_to(fsm_netlist, original + 300.0, seed=2)
+        assert area_report(padded).total_ge >= original + 300.0
+        padded.validate()
+
+    def test_pad_noop_when_target_already_met(self, traffic_light):
+        fsm_netlist = lower_fsm(traffic_light).netlist
+        original = area_report(fsm_netlist).total_ge
+        padded = pad_netlist_to(fsm_netlist, original - 1.0, seed=2)
+        assert area_report(padded).total_ge == pytest.approx(original)

@@ -1,0 +1,154 @@
+"""Tests for the SystemVerilog emitter and the FSM-subset parser."""
+
+import pytest
+
+from repro.core.hardened import HardenedFsm
+from repro.fsm.encoding import binary_encoding
+from repro.fsm.model import FsmBuilder
+from repro.fsm.simulate import FsmSimulator, random_input_sequence
+from repro.rtl.verilog_parser import VerilogParseError, parse_fsm_verilog
+from repro.rtl.verilog_writer import emit_fsm, emit_protected_fsm
+
+
+class TestEmitUnprotected:
+    def test_contains_module_and_states(self, traffic_light):
+        text = emit_fsm(traffic_light, binary_encoding(traffic_light.states), 2)
+        assert "module traffic_light" in text
+        assert "endmodule" in text
+        for state in traffic_light.states:
+            assert state in text
+
+    def test_ports_declared(self, uart_rx):
+        text = emit_fsm(uart_rx, binary_encoding(uart_rx.states), 3)
+        for signal in uart_rx.inputs:
+            assert signal.name in text
+        assert "input  logic clk_i" in text
+        assert "always_ff" in text
+
+    def test_reset_state_in_register_process(self, traffic_light):
+        text = emit_fsm(traffic_light, binary_encoding(traffic_light.states), 2)
+        assert "state_q <= RED;" in text
+
+
+class TestEmitProtected:
+    def test_protected_module_name_and_error_state(self, traffic_light):
+        hardened = HardenedFsm.from_fsm(traffic_light, protection_level=3)
+        text = emit_protected_fsm(hardened)
+        assert "module traffic_light_scfi3" in text
+        assert hardened.error_state in text
+        assert "fsm_alert" in text
+        assert "scfi_phi_fh" in text
+
+    def test_encoded_input_ports_widened(self, traffic_light):
+        hardened = HardenedFsm.from_fsm(traffic_light, protection_level=2)
+        text = emit_protected_fsm(hardened)
+        # 1-bit inputs become N-bit encoded ports.
+        assert "[1:0] timer_done_enc" in text
+
+    def test_default_arm_traps(self, uart_rx):
+        hardened = HardenedFsm.from_fsm(uart_rx, protection_level=2)
+        text = emit_protected_fsm(hardened)
+        assert "default: begin" in text
+        assert "fsm_alert = 1'b1;" in text
+
+    def test_state_enum_uses_hardened_encoding(self, traffic_light):
+        hardened = HardenedFsm.from_fsm(traffic_light, protection_level=2)
+        text = emit_protected_fsm(hardened)
+        width = hardened.state_width
+        red_literal = f"{width}'b{hardened.state_encoding['RED']:0{width}b}"
+        assert red_literal in text
+
+
+class TestParser:
+    def test_round_trip_preserves_behaviour(self, uart_rx):
+        text = emit_fsm(uart_rx, binary_encoding(uart_rx.states), 3)
+        parsed = parse_fsm_verilog(text)
+        assert parsed.name == uart_rx.name
+        assert parsed.states == uart_rx.states
+        assert parsed.reset_state == uart_rx.reset_state
+        sequence = random_input_sequence(uart_rx, 100, seed=9)
+        original_trace = FsmSimulator(uart_rx).run(sequence)
+        parsed_trace = FsmSimulator(parsed).run(sequence)
+        assert original_trace.states == parsed_trace.states
+
+    def test_round_trip_all_tutorial_fsms(self, traffic_light, spi_master):
+        for fsm in (traffic_light, spi_master):
+            text = emit_fsm(fsm, binary_encoding(fsm.states), 4)
+            parsed = parse_fsm_verilog(text)
+            sequence = random_input_sequence(fsm, 80, seed=4)
+            assert FsmSimulator(fsm).run(sequence).states == FsmSimulator(parsed).run(sequence).states
+
+    def test_hand_written_source(self):
+        source = """
+        module handshake (
+          input  logic clk_i,
+          input  logic rst_ni,
+          input  logic req,
+          input  logic [1:0] mode,
+          output logic ack
+        );
+          typedef enum logic [1:0] {
+            IDLE = 2'b00,
+            BUSY = 2'b01,
+            DONE = 2'b10
+          } state_e;
+          state_e state_q, state_d;
+          always_comb begin
+            state_d = state_q;
+            unique case (state_q)
+              IDLE: begin
+                if (req && (mode == 2'b01)) begin
+                  state_d = BUSY;
+                end
+              end
+              BUSY: begin
+                if (!req) begin
+                  state_d = DONE;
+                end
+              end
+              DONE: begin
+                state_d = IDLE;
+              end
+              default: state_d = IDLE;
+            endcase
+          end
+          always_comb begin
+            ack = '0;
+            unique case (state_q)
+              DONE: begin
+                ack = 1'b1;
+              end
+              default: ;
+            endcase
+          end
+          always_ff @(posedge clk_i or negedge rst_ni) begin
+            if (!rst_ni) begin
+              state_q <= IDLE;
+            end else begin
+              state_q <= state_d;
+            end
+          end
+        endmodule
+        """
+        fsm = parse_fsm_verilog(source)
+        assert fsm.name == "handshake"
+        assert fsm.states == ["IDLE", "BUSY", "DONE"]
+        assert fsm.reset_state == "IDLE"
+        assert fsm.input_signal("mode").width == 2
+        assert fsm.next_state("IDLE", {"req": 1, "mode": 1})[0] == "BUSY"
+        assert fsm.next_state("IDLE", {"req": 1, "mode": 2})[0] == "IDLE"
+        assert fsm.next_state("BUSY", {"req": 0})[0] == "DONE"
+        assert fsm.next_state("DONE", {})[0] == "IDLE"
+        assert fsm.moore_output("DONE")["ack"] == 1
+
+    def test_parser_errors(self):
+        with pytest.raises(VerilogParseError):
+            parse_fsm_verilog("not verilog at all")
+        with pytest.raises(VerilogParseError):
+            parse_fsm_verilog("module m (input logic clk_i); endmodule")
+
+    def test_parsed_fsm_can_be_protected(self, traffic_light):
+        text = emit_fsm(traffic_light, binary_encoding(traffic_light.states), 2)
+        parsed = parse_fsm_verilog(text)
+        hardened = HardenedFsm.from_fsm(parsed, protection_level=2)
+        assert hardened.state_width >= 3

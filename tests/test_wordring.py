@@ -1,0 +1,117 @@
+"""Tests for the word ring F2[X]/(p) used by the diffusion layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fields import AES_POLY, SCFI_POLY, WordRing
+
+BYTES = st.integers(min_value=0, max_value=255)
+
+
+@pytest.fixture(scope="module")
+def ring() -> WordRing:
+    return WordRing(SCFI_POLY)
+
+
+@pytest.fixture(scope="module")
+def aes_ring() -> WordRing:
+    return WordRing(AES_POLY)
+
+
+class TestConstruction:
+    def test_width_follows_modulus_degree(self, ring):
+        assert ring.width == 8
+
+    def test_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            WordRing(0b11)
+
+    def test_equality_and_hash(self):
+        assert WordRing(SCFI_POLY) == WordRing(SCFI_POLY)
+        assert WordRing(SCFI_POLY) != WordRing(AES_POLY)
+        assert hash(WordRing(SCFI_POLY)) == hash(WordRing(SCFI_POLY))
+
+
+class TestArithmetic:
+    def test_alpha_is_x(self, ring):
+        assert ring.alpha == 0b10
+
+    def test_mul_identity(self, ring):
+        for value in (0, 1, 0x53, 0xFF):
+            assert ring.mul(value, 1) == value
+
+    def test_alpha_times_high_bit_reduces(self, ring):
+        # alpha * X^7 = X^8 = X^2 + 1 (mod X^8 + X^2 + 1)
+        assert ring.mul(ring.alpha, 0x80) == 0b101
+
+    @given(a=BYTES, b=BYTES)
+    def test_mul_commutative(self, a, b):
+        ring = WordRing(SCFI_POLY)
+        assert ring.mul(a, b) == ring.mul(b, a)
+
+    @given(a=BYTES, b=BYTES, c=BYTES)
+    def test_mul_distributive(self, a, b, c):
+        ring = WordRing(SCFI_POLY)
+        assert ring.mul(a, ring.add(b, c)) == ring.add(ring.mul(a, b), ring.mul(a, c))
+
+    def test_pow(self, ring):
+        assert ring.pow(ring.alpha, 0) == 1
+        assert ring.pow(ring.alpha, 1) == ring.alpha
+        assert ring.pow(ring.alpha, 3) == ring.mul(ring.alpha, ring.mul(ring.alpha, ring.alpha))
+
+
+class TestInvertibility:
+    def test_zero_not_invertible(self, ring):
+        assert not ring.is_invertible(0)
+
+    def test_alpha_invertible_in_scfi_ring(self, ring):
+        # gcd(X, X^8 + X^2 + 1) = 1 because the modulus has a constant term.
+        assert ring.is_invertible(ring.alpha)
+
+    def test_factor_not_invertible_in_scfi_ring(self, ring):
+        # X^4 + X + 1 divides the modulus, so it has no inverse in the ring.
+        assert not ring.is_invertible(0b10011)
+
+    def test_every_nonzero_invertible_in_field(self, aes_ring):
+        for value in range(1, 256):
+            assert aes_ring.is_invertible(value)
+
+    def test_inverse_roundtrip(self, ring):
+        for value in (1, ring.alpha, 0x03, 0x8D):
+            if ring.is_invertible(value):
+                assert ring.mul(value, ring.inverse(value)) == 1
+
+    def test_inverse_of_non_invertible_raises(self, ring):
+        with pytest.raises(ZeroDivisionError):
+            ring.inverse(0b10011)
+
+    def test_matrix_invertibility_matches_gcd(self, ring):
+        for value in range(1, 64):
+            assert ring.is_invertible(value) == ring.matrix_is_invertible(value)
+
+
+class TestElementMatrix:
+    @given(a=BYTES, w=BYTES)
+    def test_matrix_matches_multiplication(self, a, w):
+        ring = WordRing(SCFI_POLY)
+        matrix = ring.element_matrix(a)
+        bits = [(w >> i) & 1 for i in range(8)]
+        product_bits = matrix.multiply_vector(bits)
+        product = sum(bit << i for i, bit in enumerate(product_bits))
+        assert product == ring.mul(a, w)
+
+    def test_identity_matrix_for_one(self, ring):
+        matrix = ring.element_matrix(1)
+        assert matrix == type(matrix).identity(8)
+
+    def test_xor_cost_of_one_is_zero(self, ring):
+        assert ring.mul_xor_cost(1) == 0
+
+    def test_xor_cost_of_alpha_matches_feedback_taps(self, ring):
+        # Multiplying by alpha is a shift plus feedback into the tap positions
+        # of X^8 + X^2 + 1, i.e. two XORs (bit 0 and bit 2 receive feedback,
+        # but bit 0 simply takes the carry so only rows with weight 2 count).
+        assert ring.mul_xor_cost(ring.alpha) == 1
+
+    def test_elements_enumeration_guard(self, ring):
+        assert len(ring.elements()) == 256

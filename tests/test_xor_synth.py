@@ -1,0 +1,86 @@
+"""Tests for the shared-XOR network synthesis (Paar's algorithm)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mds import default_mds_matrix
+from repro.core.xor_synth import synthesize_xor_network
+from repro.linalg import BitMatrix
+
+
+def random_bit_matrix(rows, cols, seed):
+    rng = random.Random(seed)
+    return BitMatrix([[rng.randint(0, 1) for _ in range(cols)] for _ in range(rows)])
+
+
+class TestCorrectness:
+    @given(
+        rows=st.integers(min_value=1, max_value=8),
+        cols=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+        share=st.booleans(),
+    )
+    @settings(max_examples=60)
+    def test_network_matches_matrix(self, rows, cols, seed, share):
+        matrix = random_bit_matrix(rows, cols, seed)
+        network = synthesize_xor_network(matrix, share=share)
+        rng = random.Random(seed + 1)
+        for _ in range(5):
+            vector = [rng.randint(0, 1) for _ in range(cols)]
+            assert network.evaluate(vector) == matrix.multiply_vector(vector)
+
+    def test_mds_matrix_network(self):
+        matrix = default_mds_matrix().to_bit_matrix()
+        network = synthesize_xor_network(matrix, share=True)
+        vector = [(i * 7 + 3) % 2 for i in range(32)]
+        assert network.evaluate(vector) == matrix.multiply_vector(vector)
+
+    def test_zero_row_maps_to_constant_zero(self):
+        matrix = BitMatrix([[0, 0, 0], [1, 1, 0]])
+        network = synthesize_xor_network(matrix)
+        assert network.evaluate([1, 1, 1])[0] == 0
+
+    def test_single_term_row_is_wire(self):
+        matrix = BitMatrix([[0, 1, 0]])
+        network = synthesize_xor_network(matrix)
+        assert network.xor_count == 0
+        assert network.evaluate([0, 1, 0]) == [1]
+
+    def test_input_length_check(self):
+        network = synthesize_xor_network(BitMatrix([[1, 1]]))
+        with pytest.raises(ValueError):
+            network.evaluate([1])
+
+
+class TestCost:
+    def test_sharing_never_worse_on_mds(self):
+        matrix = default_mds_matrix().to_bit_matrix()
+        naive = synthesize_xor_network(matrix, share=False)
+        shared = synthesize_xor_network(matrix, share=True)
+        assert shared.xor_count <= naive.xor_count
+        # The MDS bit matrix is dense; sharing should give a real reduction.
+        assert shared.xor_count < naive.xor_count
+
+    def test_naive_count_is_row_weights_minus_one(self):
+        matrix = BitMatrix([[1, 1, 1], [1, 1, 0]])
+        naive = synthesize_xor_network(matrix, share=False)
+        assert naive.xor_count == (3 - 1) + (2 - 1)
+
+    def test_depth_of_empty_outputs(self):
+        network = synthesize_xor_network(BitMatrix([[0, 0]]))
+        assert network.depth() == 0
+
+    def test_depth_positive_for_dense_matrix(self):
+        matrix = default_mds_matrix().to_bit_matrix()
+        network = synthesize_xor_network(matrix, share=True)
+        assert network.depth() >= 4  # the paper counts four XOR layers
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30)
+    def test_sharing_never_worse_random(self, seed):
+        matrix = random_bit_matrix(8, 10, seed)
+        naive = synthesize_xor_network(matrix, share=False)
+        shared = synthesize_xor_network(matrix, share=True)
+        assert shared.xor_count <= naive.xor_count
