@@ -1,4 +1,20 @@
-"""``scfi-fi``: run fault-injection campaigns against a protected benchmark FSM."""
+"""``scfi-fi``: run fault-injection campaigns against a protected benchmark FSM.
+
+All gate-level modes execute on the unified campaign layer
+(:mod:`repro.fi.orchestrator`) with the bit-parallel engine by default;
+``--engine scalar`` replays on the reference simulator and ``--compare`` runs
+both and checks the classification counters match lane for lane.
+
+Modes:
+
+* ``exhaustive`` -- single faults on every net of ``--target`` for every
+  reachable transition (Section 6.4);
+* ``random``     -- sampled simultaneous multi-fault injections;
+* ``effects``    -- the exhaustive sweep once per fault effect
+  (transient flip, stuck-at-0, stuck-at-1);
+* ``regions``    -- per-target-region FT1/FT2/FT3 sweeps at netlist level;
+* ``behavioral`` -- fast pre-netlist input-fault sampling (Section 6.3).
+"""
 
 from __future__ import annotations
 
@@ -8,7 +24,17 @@ import sys
 from repro.cli.harden import FSM_REGISTRY
 from repro.core.scfi import ScfiOptions, protect_fsm
 from repro.fi.behavioral import behavioral_fault_campaign
-from repro.fi.campaign import exhaustive_single_fault_campaign, random_multi_fault_campaign
+from repro.fi.model import FaultEffect
+from repro.fi.orchestrator import (
+    DEFAULT_LANE_WIDTH,
+    ExhaustiveSingleFault,
+    FaultCampaign,
+    RandomMultiFault,
+    effect_sweep_scenarios,
+    region_sweep_scenarios,
+)
+
+_EFFECTS = {effect.value: effect for effect in FaultEffect}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -17,10 +43,44 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-N", "--protection-level", type=int, default=2)
     parser.add_argument(
         "--mode",
-        choices=["exhaustive", "random", "behavioral"],
+        choices=["exhaustive", "random", "effects", "regions", "behavioral"],
         default="exhaustive",
-        help="exhaustive single faults on the diffusion layer, random gate-level "
-        "multi-fault sampling, or fast behavioural input-fault sampling",
+        help="exhaustive single faults, random gate-level multi-fault sampling, "
+        "per-effect sweeps, per-region FT1/FT2/FT3 sweeps, or fast behavioural "
+        "input-fault sampling",
+    )
+    parser.add_argument(
+        "--target",
+        choices=["diffusion", "comb"],
+        default=None,
+        help="net region for exhaustive/random/effects: the MDS diffusion layer "
+        "or the whole combinational cloud (default: diffusion for exhaustive/"
+        "effects, comb for random, matching the historical campaigns)",
+    )
+    parser.add_argument(
+        "--effects",
+        nargs="+",
+        choices=sorted(_EFFECTS),
+        default=None,
+        help="fault effects to inject (default: flip only; effects mode "
+        "defaults to all three)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["parallel", "scalar"],
+        default="parallel",
+        help="bit-parallel lane engine (default) or the scalar reference simulator",
+    )
+    parser.add_argument(
+        "--lane-width",
+        type=int,
+        default=DEFAULT_LANE_WIDTH,
+        help="fault lanes packed per bit-parallel pass",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run on both engines and assert identical classification counters",
     )
     parser.add_argument("--faults", type=int, default=2, help="simultaneous faults (random/behavioral)")
     parser.add_argument("--trials", type=int, default=1000, help="trials (random/behavioral)")
@@ -28,25 +88,76 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _scenarios(args, structure):
+    chosen = tuple(_EFFECTS[name] for name in args.effects) if args.effects else None
+    if args.mode == "exhaustive":
+        effects = chosen or (FaultEffect.TRANSIENT_FLIP,)
+        target = args.target or "diffusion"
+        return {"exhaustive": ExhaustiveSingleFault(target_nets=target, effects=effects)}
+    if args.mode == "random":
+        return {
+            "random": RandomMultiFault(
+                num_faults=args.faults,
+                trials=args.trials,
+                target_nets=args.target or "comb",
+                seed=args.seed,
+                effects=chosen or (FaultEffect.TRANSIENT_FLIP,),
+            )
+        }
+    if args.mode == "effects":
+        effects = chosen or tuple(_EFFECTS.values())
+        return effect_sweep_scenarios(effects=effects, target_nets=args.target or "diffusion")
+    return region_sweep_scenarios(structure, effects=chosen or (FaultEffect.TRANSIENT_FLIP,))
+
+
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.lane_width < 1:
+        parser.error("--lane-width must be >= 1")
+    if args.faults < 1:
+        parser.error("--faults must be >= 1")
+    if args.mode == "behavioral":
+        for flag, given in (
+            ("--compare", args.compare),
+            ("--engine", args.engine != "parallel"),
+            ("--target", args.target is not None),
+            ("--effects", args.effects is not None),
+        ):
+            if given:
+                parser.error(f"{flag} applies to gate-level modes, not --mode behavioral")
+    if args.mode == "regions" and args.target is not None:
+        parser.error("--target applies to exhaustive/random/effects; regions sweep "
+                     "the fixed FT1/FT2/FT3 net groups")
     fsm = FSM_REGISTRY[args.fsm]()
     result = protect_fsm(
         fsm, ScfiOptions(protection_level=args.protection_level, generate_verilog=False)
     )
-    if args.mode == "exhaustive":
-        campaign = exhaustive_single_fault_campaign(result.structure)
-        print(campaign.format())
-    elif args.mode == "random":
-        campaign = random_multi_fault_campaign(
-            result.structure, num_faults=args.faults, trials=args.trials, seed=args.seed
-        )
-        print(campaign.format())
-    else:
+    if args.mode == "behavioral":
         campaign = behavioral_fault_campaign(
             result.hardened, num_faults=args.faults, trials=args.trials, seed=args.seed
         )
         print(campaign.format())
+        return 0
+
+    scenarios = _scenarios(args, result.structure)
+    executor = FaultCampaign(result.structure, engine=args.engine, lane_width=args.lane_width)
+    results = executor.run_sweep(scenarios)
+    for name, campaign in results.items():
+        prefix = f"{name:<15} " if len(results) > 1 else ""
+        print(f"{prefix}{campaign.format()}")
+    if args.compare:
+        other_engine = "scalar" if args.engine == "parallel" else "parallel"
+        oracle = FaultCampaign(result.structure, engine=other_engine, lane_width=args.lane_width)
+        for name, reference in oracle.run_sweep(scenarios).items():
+            if reference.counters() != results[name].counters():
+                print(
+                    f"ENGINE MISMATCH in {name}: {args.engine}={results[name].counters()} "
+                    f"{other_engine}={reference.counters()}",
+                    file=sys.stderr,
+                )
+                return 1
+        print(f"engines agree ({args.engine} vs {other_engine})")
     return 0
 
 

@@ -12,10 +12,12 @@ series, plus the maximum frequency each configuration reaches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.redundancy import RedundancyOptions, protect_fsm_redundant
 from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.core.structure import ScfiNetlist
+from repro.fi.orchestrator import CampaignResult, ExhaustiveSingleFault, FaultCampaign
 from repro.netlist.area import area_report
 from repro.netlist.celllib import CellLibrary, DEFAULT_LIBRARY
 from repro.netlist.generic import pad_netlist_to
@@ -51,6 +53,9 @@ class Figure8Result:
     """All swept points, grouped per configuration."""
 
     points: List[Figure8Point] = field(default_factory=list)
+    #: Optional security validation of the SCFI configuration (the area-time
+    #: sweep is only meaningful if the protected FSM still detects faults).
+    security_checks: Dict[str, CampaignResult] = field(default_factory=dict)
 
     def series(self, configuration: str) -> List[Figure8Point]:
         return [p for p in self.points if p.configuration == configuration]
@@ -97,8 +102,14 @@ def _module_netlist(
     configuration: str,
     protection_level: int,
     library: CellLibrary,
-) -> Netlist:
-    """Build the full-module netlist (FSM + calibrated datapath) of one configuration."""
+) -> Tuple[Netlist, Optional[ScfiNetlist]]:
+    """Build the full-module netlist (FSM + calibrated datapath) of one configuration.
+
+    For the SCFI configuration the campaign-ready :class:`ScfiNetlist` handle
+    is returned alongside, so callers can fault-validate the very FSM whose
+    area-time curve they sweep.
+    """
+    structure: Optional[ScfiNetlist] = None
     if configuration == "base":
         fsm_netlist = lower_fsm(model.fsm).netlist
     elif configuration == "redundancy":
@@ -106,23 +117,26 @@ def _module_netlist(
             model.fsm, RedundancyOptions(protection_level=protection_level)
         ).netlist
     elif configuration == "scfi":
-        fsm_netlist = protect_fsm(
+        protected = protect_fsm(
             model.fsm,
             ScfiOptions(protection_level=protection_level, generate_verilog=False),
-        ).netlist
+        )
+        fsm_netlist = protected.netlist
+        structure = protected.structure
     else:
         raise ValueError(f"unknown configuration {configuration!r}")
 
     unprotected_ge = area_report(lower_fsm(model.fsm).netlist, library).total_ge
     fsm_ge = area_report(fsm_netlist, library).total_ge
     datapath_ge = max(0.0, model.module_area_ge - unprotected_ge)
-    return pad_netlist_to(
+    padded = pad_netlist_to(
         fsm_netlist,
         fsm_ge + datapath_ge,
         depth=model.datapath_depth,
         seed=model.seed,
         library=library,
     )
+    return padded, structure
 
 
 def run_figure8(
@@ -131,12 +145,21 @@ def run_figure8(
     clock_periods_ps: Sequence[float] = PAPER_CLOCK_PERIODS_PS,
     configurations: Sequence[str] = ("base", "redundancy", "scfi"),
     library: Optional[CellLibrary] = None,
+    verify_security: bool = False,
 ) -> Figure8Result:
-    """Sweep the clock period for every configuration and record area/timing."""
+    """Sweep the clock period for every configuration and record area/timing.
+
+    With ``verify_security`` the SCFI configuration additionally runs an
+    exhaustive diffusion-layer campaign on the bit-parallel engine before the
+    timing sweep (stored in :attr:`Figure8Result.security_checks`).
+    """
     library = library or DEFAULT_LIBRARY
     result = Figure8Result()
     for configuration in configurations:
-        netlist = _module_netlist(model, configuration, protection_level, library)
+        netlist, structure = _module_netlist(model, configuration, protection_level, library)
+        if verify_security and structure is not None:
+            campaign = FaultCampaign(structure)
+            result.security_checks[configuration] = campaign.run(ExhaustiveSingleFault())
         for period in clock_periods_ps:
             sized = size_for_period(netlist, float(period), library)
             result.points.append(

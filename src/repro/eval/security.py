@@ -8,7 +8,9 @@ faults into the inputs of the hardened next-state function by
 i.e. the number of valid output patterns divided by the size of the space a
 diffused fault lands in.  This module evaluates that analytic model for a
 hardened FSM and cross-checks it with Monte-Carlo campaigns from
-:mod:`repro.fi.behavioral`.
+:mod:`repro.fi.behavioral` as well as with gate-level per-target-region
+sweeps executed on the bit-parallel campaign layer
+(:func:`structural_fault_target_sweep`).
 """
 
 from __future__ import annotations
@@ -17,6 +19,9 @@ from dataclasses import dataclass
 from typing import Dict, Sequence
 
 from repro.core.hardened import HardenedFsm
+from repro.core.structure import ScfiNetlist
+from repro.fi.model import FaultEffect
+from repro.fi.orchestrator import CampaignResult, FaultCampaign, region_sweep_scenarios
 from repro.fi.behavioral import (
     TARGET_CONTROL,
     TARGET_DIFFUSION,
@@ -87,6 +92,22 @@ def attack_success_probability(
         "num_faults": float(num_faults),
         "trials": float(trials),
     }
+
+
+def structural_fault_target_sweep(
+    structure: ScfiNetlist,
+    effects: Sequence[FaultEffect] = (FaultEffect.TRANSIENT_FLIP,),
+    engine: str = "parallel",
+) -> Dict[str, CampaignResult]:
+    """Gate-level companion of :func:`fault_target_sweep` (Section 6.4 style).
+
+    Runs one exhaustive single-fault campaign per structural target region
+    (FT1 state register, FT2 encoded control inputs, FT3 selected control
+    word and diffusion internals) on the bit-parallel engine and returns the
+    per-region classification counters.
+    """
+    campaign = FaultCampaign(structure, engine=engine)
+    return campaign.run_sweep(region_sweep_scenarios(structure, effects=effects))
 
 
 def fault_target_sweep(

@@ -3,8 +3,16 @@
 from repro.fi.model import Fault, FaultEffect, FaultOutcome, Classification
 from repro.fi.activate import activating_inputs
 from repro.fi.injector import ScfiFaultInjector, UnprotectedFaultInjector, RedundantFaultInjector
-from repro.fi.campaign import (
+from repro.fi.orchestrator import (
     CampaignResult,
+    ExhaustiveSingleFault,
+    FaultCampaign,
+    RandomMultiFault,
+    effect_sweep_scenarios,
+    region_sweep_scenarios,
+    scfi_fault_regions,
+)
+from repro.fi.campaign import (
     exhaustive_single_fault_campaign,
     random_multi_fault_campaign,
 )
@@ -20,6 +28,12 @@ __all__ = [
     "UnprotectedFaultInjector",
     "RedundantFaultInjector",
     "CampaignResult",
+    "FaultCampaign",
+    "ExhaustiveSingleFault",
+    "RandomMultiFault",
+    "effect_sweep_scenarios",
+    "region_sweep_scenarios",
+    "scfi_fault_regions",
     "exhaustive_single_fault_campaign",
     "random_multi_fault_campaign",
     "behavioral_fault_campaign",

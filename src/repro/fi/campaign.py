@@ -1,101 +1,42 @@
-"""Fault-injection campaigns over protected netlists.
+"""Legacy fault-campaign entry points (thin wrappers over the orchestrator).
 
-Two campaign styles are provided:
+The campaign machinery lives in :mod:`repro.fi.orchestrator`: a
+:class:`~repro.fi.orchestrator.FaultCampaign` executor runs pluggable
+scenarios on the bit-parallel engine (or on the scalar oracle).  The two
+functions below keep the historical API of the Section 6.4 experiments:
 
-* :func:`exhaustive_single_fault_campaign` -- the Section 6.4 experiment:
-  every net of a target region (by default the MDS diffusion layer) is flipped
-  once for every valid state transition, and every injection is classified as
-  masked / detected / hijack.
+* :func:`exhaustive_single_fault_campaign` -- every net of a target region
+  (by default the MDS diffusion layer) is flipped once for every valid state
+  transition, and every injection is classified as masked / detected /
+  redirected / hijack.
 * :func:`random_multi_fault_campaign` -- a sampled campaign injecting ``n``
   simultaneous flips at random locations, used to study the multi-fault
   scaling claims of the threat model.
+
+Both accept ``engine="scalar"`` to replay the campaign on the reference
+:class:`~repro.netlist.simulate.NetlistSimulator`; counters are identical by
+construction and asserted in the tests and benchmarks.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.structure import ScfiNetlist
-from repro.fi.activate import activating_inputs
-from repro.fi.injector import ScfiFaultInjector, cfg_successor_map
-from repro.fi.model import Classification, Fault, FaultEffect, FaultOutcome, classify_observation
-from repro.fsm.cfg import CfgEdge, control_flow_edges
+from repro.fi.model import FaultEffect
+from repro.fi.orchestrator import (
+    DEFAULT_LANE_WIDTH,
+    CampaignResult,
+    ExhaustiveSingleFault,
+    FaultCampaign,
+    RandomMultiFault,
+)
 
-
-@dataclass
-class CampaignResult:
-    """Aggregated outcome of a fault campaign.
-
-    ``redirected`` counts undetected within-CFG deviations (the Section 7
-    limitation); ``hijacked`` counts undetected deviations onto states that
-    are not CFG successors of the faulted transition's source.
-    """
-
-    name: str
-    total_injections: int = 0
-    masked: int = 0
-    detected: int = 0
-    redirected: int = 0
-    hijacked: int = 0
-    transitions_evaluated: int = 0
-    target_nets: int = 0
-    outcomes: List[FaultOutcome] = field(default_factory=list)
-    keep_outcomes: bool = False
-
-    def record(self, outcome: FaultOutcome) -> None:
-        self.total_injections += 1
-        if outcome.classification is Classification.MASKED:
-            self.masked += 1
-        elif outcome.classification is Classification.DETECTED:
-            self.detected += 1
-        elif outcome.classification is Classification.REDIRECTED:
-            self.redirected += 1
-        else:
-            self.hijacked += 1
-        if self.keep_outcomes:
-            self.outcomes.append(outcome)
-
-    @property
-    def hijack_rate(self) -> float:
-        """Fraction of injections that left the CFG undetected."""
-        if self.total_injections == 0:
-            return 0.0
-        return self.hijacked / self.total_injections
-
-    @property
-    def detection_rate(self) -> float:
-        if self.total_injections == 0:
-            return 0.0
-        return self.detected / self.total_injections
-
-    @property
-    def undetected_deviation_rate(self) -> float:
-        """Fraction of injections that deviated the control flow undetected."""
-        if self.total_injections == 0:
-            return 0.0
-        return (self.hijacked + self.redirected) / self.total_injections
-
-    def format(self) -> str:
-        return (
-            f"{self.name}: {self.total_injections} injections over "
-            f"{self.transitions_evaluated} transitions / {self.target_nets} nets -> "
-            f"{self.hijacked} hijacks ({100.0 * self.hijack_rate:.2f} %), "
-            f"{self.redirected} in-CFG redirections, "
-            f"{self.detected} detected, {self.masked} masked"
-        )
-
-
-def _transition_contexts(structure: ScfiNetlist) -> List[tuple]:
-    """(edge, activating raw inputs) for every reachable CFG edge."""
-    fsm = structure.hardened.fsm
-    contexts = []
-    for edge in control_flow_edges(fsm):
-        inputs = activating_inputs(fsm, edge)
-        if inputs is not None:
-            contexts.append((edge, inputs))
-    return contexts
+__all__ = [
+    "CampaignResult",
+    "exhaustive_single_fault_campaign",
+    "random_multi_fault_campaign",
+]
 
 
 def exhaustive_single_fault_campaign(
@@ -103,28 +44,19 @@ def exhaustive_single_fault_campaign(
     target_nets: Optional[Sequence[str]] = None,
     effects: Sequence[FaultEffect] = (FaultEffect.TRANSIENT_FLIP,),
     keep_outcomes: bool = False,
+    engine: str = "parallel",
+    lane_width: int = DEFAULT_LANE_WIDTH,
 ) -> CampaignResult:
     """Flip every target net once for every valid transition (Section 6.4).
 
     ``target_nets`` defaults to the gates of the MDS diffusion layer, matching
-    the paper's formal analysis; pass ``injector.all_comb_nets()`` for a
-    whole-next-state-logic campaign.
+    the paper's formal analysis; pass ``"comb"`` (or an explicit net list) for
+    a whole-next-state-logic campaign.
     """
-    injector = ScfiFaultInjector(structure)
-    nets = list(target_nets) if target_nets is not None else injector.diffusion_nets()
-    contexts = _transition_contexts(structure)
-    result = CampaignResult(
-        name=f"exhaustive single-fault ({structure.netlist.name})",
-        keep_outcomes=keep_outcomes,
-        target_nets=len(nets),
-        transitions_evaluated=len(contexts),
+    campaign = FaultCampaign(
+        structure, engine=engine, lane_width=lane_width, keep_outcomes=keep_outcomes
     )
-    for edge, inputs in contexts:
-        for net in nets:
-            for effect in effects:
-                outcome = injector.classify(edge, inputs, Fault(net=net, effect=effect))
-                result.record(outcome)
-    return result
+    return campaign.run(ExhaustiveSingleFault(target_nets=target_nets, effects=effects))
 
 
 def random_multi_fault_campaign(
@@ -134,46 +66,17 @@ def random_multi_fault_campaign(
     target_nets: Optional[Sequence[str]] = None,
     seed: int = 0,
     keep_outcomes: bool = False,
+    engine: str = "parallel",
+    lane_width: int = DEFAULT_LANE_WIDTH,
 ) -> CampaignResult:
     """Inject ``num_faults`` simultaneous random flips, ``trials`` times."""
     if num_faults < 1:
         raise ValueError("num_faults must be >= 1")
-    injector = ScfiFaultInjector(structure)
-    nets = list(target_nets) if target_nets is not None else injector.all_comb_nets()
-    contexts = _transition_contexts(structure)
-    if not contexts:
-        raise ValueError("the FSM has no reachable transitions")
-    rng = random.Random(seed)
-    result = CampaignResult(
-        name=f"random {num_faults}-fault ({structure.netlist.name})",
-        keep_outcomes=keep_outcomes,
-        target_nets=len(nets),
-        transitions_evaluated=len(contexts),
+    campaign = FaultCampaign(
+        structure, engine=engine, lane_width=lane_width, keep_outcomes=keep_outcomes
     )
-    hardened = structure.hardened
-    successors = cfg_successor_map(hardened.fsm)
-    for _ in range(trials):
-        edge, inputs = contexts[rng.randrange(len(contexts))]
-        chosen = rng.sample(nets, min(num_faults, len(nets)))
-        faults = [Fault(net=net) for net in chosen]
-        golden = hardened.state_encoding[edge.dst]
-        observed = injector.next_code(edge, inputs, faults=faults)
-        observed_state = hardened.decode_state(observed)
-        classification = classify_observation(
-            golden,
-            observed,
-            observed_state,
-            error_states=frozenset([hardened.error_state]),
-            cfg_successors=successors.get(edge.src, frozenset()),
-        )
-        result.record(
-            FaultOutcome(
-                fault=faults[0],
-                source_state=edge.src,
-                expected_state=edge.dst,
-                observed_code=observed,
-                observed_state=observed_state,
-                classification=classification,
-            )
-        )
-    return result
+    if not campaign.contexts:
+        raise ValueError("the FSM has no reachable transitions")
+    return campaign.run(
+        RandomMultiFault(num_faults=num_faults, trials=trials, target_nets=target_nets, seed=seed)
+    )

@@ -5,11 +5,17 @@ the encoded current state into the state register, apply the activating input
 vector) and how to read back and classify the next-state value the register
 bank would capture, with or without a fault override on one or more nets.
 This mirrors what the SYNFI flow does on the Yosys netlist in Section 6.4.
+
+The injectors evaluate one injection at a time on the scalar
+:class:`~repro.netlist.simulate.NetlistSimulator` and serve as the reference
+oracle; bulk campaigns go through :class:`~repro.fi.orchestrator.FaultCampaign`,
+which packs many injections per pass on the bit-parallel
+:class:`~repro.netlist.parallel.CompiledNetlist` engine.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping
 
 from repro.core.structure import ScfiNetlist
 from repro.fi.model import Classification, Fault, FaultEffect, FaultOutcome, classify_observation
@@ -27,7 +33,8 @@ def cfg_successor_map(fsm: Fsm) -> Dict[str, frozenset]:
     return {state: frozenset(values) for state, values in successors.items()}
 
 
-def _fault_set(faults: Iterable[Fault]) -> FaultSet:
+def fault_set(faults: Iterable[Fault]) -> FaultSet:
+    """Lower a group of :class:`Fault` descriptions to net-level overrides."""
     flips = []
     stuck: Dict[str, int] = {}
     for fault in faults:
@@ -66,7 +73,7 @@ class ScfiFaultInjector:
         registers = {
             net: (state_code >> i) & 1 for i, net in enumerate(self.structure.state_q)
         }
-        values = self.simulator.evaluate(encoded_inputs, faults=_fault_set(faults), registers=registers)
+        values = self.simulator.evaluate(encoded_inputs, faults=fault_set(faults), registers=registers)
         return self.simulator.read_word(values, self.structure.state_d)
 
     def classify(
@@ -120,7 +127,7 @@ class UnprotectedFaultInjector:
             net: (state_code >> i) & 1 for i, net in enumerate(self.implementation.state_q)
         }
         values = self.simulator.evaluate(
-            self.implementation.input_vector(dict(inputs)), faults=_fault_set(faults), registers=registers
+            self.implementation.input_vector(dict(inputs)), faults=fault_set(faults), registers=registers
         )
         return self.simulator.read_word(values, self.implementation.state_d)
 
@@ -167,7 +174,7 @@ class RedundantFaultInjector:
                 registers[net] = (state_code >> i) & 1
         values = self.simulator.evaluate(
             self.implementation.input_vector(dict(inputs)),
-            faults=_fault_set([fault]),
+            faults=fault_set([fault]),
             registers=registers,
         )
         # Next-state values of every copy plus the mismatch alarm after one cycle.

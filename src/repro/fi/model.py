@@ -16,9 +16,9 @@ defender's perspective:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Optional, Tuple
 
 
 class FaultEffect(Enum):
@@ -60,7 +60,14 @@ class Fault:
 
 @dataclass(frozen=True)
 class FaultOutcome:
-    """The result of injecting one fault during one transition."""
+    """The result of injecting one fault *set* during one transition.
+
+    ``faults`` carries every simultaneously injected fault; ``fault`` remains
+    as the first of them for the single-fault call sites that dominate the
+    exhaustive campaigns.  Constructing with only ``fault`` fills ``faults``
+    with the one-element tuple, so multi-fault reports are never silently
+    truncated to their first location.
+    """
 
     fault: Fault
     source_state: str
@@ -68,6 +75,37 @@ class FaultOutcome:
     observed_code: int
     observed_state: Optional[str]
     classification: Classification
+    faults: Tuple[Fault, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.faults:
+            object.__setattr__(self, "faults", (self.fault,))
+
+    @classmethod
+    def of_faults(
+        cls,
+        faults: Tuple[Fault, ...],
+        source_state: str,
+        expected_state: str,
+        observed_code: int,
+        observed_state: Optional[str],
+        classification: Classification,
+    ) -> "FaultOutcome":
+        if not faults:
+            raise ValueError("an outcome needs at least one fault")
+        return cls(
+            fault=faults[0],
+            source_state=source_state,
+            expected_state=expected_state,
+            observed_code=observed_code,
+            observed_state=observed_state,
+            classification=classification,
+            faults=tuple(faults),
+        )
+
+    @property
+    def num_faults(self) -> int:
+        return len(self.faults)
 
     @property
     def is_hijack(self) -> bool:

@@ -1,0 +1,458 @@
+"""Unified fault-campaign orchestration over the bit-parallel engine.
+
+This module is the single place where fault campaigns against protected
+netlists are planned, batched, executed and classified.  A campaign is the
+combination of
+
+* a :class:`FaultCampaign` executor bound to one :class:`ScfiNetlist` -- it
+  owns the compiled bit-parallel engine (lane 0 golden, lanes 1..W one fault
+  group each), the per-edge activation contexts and the batch classifier; and
+* a pluggable *scenario* that enumerates injection jobs: exhaustive
+  single-fault sweeps (:class:`ExhaustiveSingleFault`), sampled multi-fault
+  campaigns (:class:`RandomMultiFault`), fault-effect sweeps
+  (:func:`effect_sweep_scenarios`) and per-target-region FT1/FT2/FT3 sweeps
+  (:func:`region_sweep_scenarios`).
+
+Every scenario runs on either engine: ``engine="parallel"`` (default) packs up
+to ``lane_width`` fault groups per netlist pass, ``engine="scalar"`` walks the
+reference :class:`~repro.netlist.simulate.NetlistSimulator` one injection at a
+time and serves as the cross-check oracle.  Classification counters are
+engine-independent by construction; ``tests/test_fi_orchestrator.py`` and
+``benchmarks/bench_parallel_sim.py`` assert it.
+
+The legacy entry points in :mod:`repro.fi.campaign` are thin wrappers around
+this layer, as are the structural sweeps in :mod:`repro.eval.security` and the
+``scfi-fi`` CLI.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.structure import ScfiNetlist
+from repro.fi.activate import activating_inputs
+from repro.fi.injector import ScfiFaultInjector, cfg_successor_map, fault_set
+from repro.fi.model import (
+    Classification,
+    Fault,
+    FaultEffect,
+    FaultOutcome,
+    classify_observation,
+)
+from repro.fsm.cfg import CfgEdge, control_flow_edges
+from repro.netlist.parallel import CompiledNetlist
+
+#: Fault groups packed into one bit-parallel pass (plus the golden lane 0).
+DEFAULT_LANE_WIDTH = 256
+
+#: A job: (context index, faults injected together during that transition).
+InjectionJob = Tuple[int, Tuple[Fault, ...]]
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a fault campaign.
+
+    ``redirected`` counts undetected within-CFG deviations (the Section 7
+    limitation); ``hijacked`` counts undetected deviations onto states that
+    are not CFG successors of the faulted transition's source.
+    """
+
+    name: str
+    total_injections: int = 0
+    masked: int = 0
+    detected: int = 0
+    redirected: int = 0
+    hijacked: int = 0
+    transitions_evaluated: int = 0
+    target_nets: int = 0
+    outcomes: List[FaultOutcome] = field(default_factory=list)
+    keep_outcomes: bool = False
+
+    def tally(self, classification: Classification) -> None:
+        """Bump the counter for one classified injection."""
+        self.total_injections += 1
+        if classification is Classification.MASKED:
+            self.masked += 1
+        elif classification is Classification.DETECTED:
+            self.detected += 1
+        elif classification is Classification.REDIRECTED:
+            self.redirected += 1
+        else:
+            self.hijacked += 1
+
+    def record(self, outcome: FaultOutcome) -> None:
+        self.tally(outcome.classification)
+        if self.keep_outcomes:
+            self.outcomes.append(outcome)
+
+    @property
+    def hijack_rate(self) -> float:
+        """Fraction of injections that left the CFG undetected."""
+        if self.total_injections == 0:
+            return 0.0
+        return self.hijacked / self.total_injections
+
+    @property
+    def detection_rate(self) -> float:
+        if self.total_injections == 0:
+            return 0.0
+        return self.detected / self.total_injections
+
+    @property
+    def undetected_deviation_rate(self) -> float:
+        """Fraction of injections that deviated the control flow undetected."""
+        if self.total_injections == 0:
+            return 0.0
+        return (self.hijacked + self.redirected) / self.total_injections
+
+    def counters(self) -> Tuple[int, int, int, int]:
+        """(masked, detected, redirected, hijacked) -- for oracle comparisons."""
+        return (self.masked, self.detected, self.redirected, self.hijacked)
+
+    def format(self) -> str:
+        return (
+            f"{self.name}: {self.total_injections} injections over "
+            f"{self.transitions_evaluated} transitions / {self.target_nets} nets -> "
+            f"{self.hijacked} hijacks ({100.0 * self.hijack_rate:.2f} %), "
+            f"{self.redirected} in-CFG redirections, "
+            f"{self.detected} detected, {self.masked} masked"
+        )
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+@dataclass
+class ExhaustiveSingleFault:
+    """Flip (or stick) every target net once per reachable transition.
+
+    ``target_nets`` may be an explicit net list, ``"diffusion"`` (the MDS
+    diffusion layer, the paper's Section 6.4 target, default) or ``"comb"``
+    (the whole combinational cloud -- previously too slow to run by default,
+    now a single bit-parallel sweep).
+    """
+
+    target_nets: object = None
+    effects: Sequence[FaultEffect] = (FaultEffect.TRANSIENT_FLIP,)
+    _resolved: object = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.target_nets is not None and not isinstance(self.target_nets, str):
+            self.target_nets = list(self.target_nets)
+
+    def describe(self) -> str:
+        return "exhaustive single-fault"
+
+    def resolved_nets(self, campaign: "FaultCampaign") -> List[str]:
+        if self._resolved is not None and self._resolved[0] is campaign:
+            return self._resolved[1]
+        if self.target_nets is None or self.target_nets == "diffusion":
+            nets = campaign.injector.diffusion_nets()
+        elif self.target_nets == "comb":
+            nets = campaign.injector.all_comb_nets()
+        else:
+            nets = list(self.target_nets)
+        self._resolved = (campaign, nets)
+        return nets
+
+    def annotate(self, result: CampaignResult, campaign: "FaultCampaign") -> None:
+        result.target_nets = len(self.resolved_nets(campaign))
+
+    def jobs(self, campaign: "FaultCampaign") -> Iterator[InjectionJob]:
+        nets = self.resolved_nets(campaign)
+        for index in range(len(campaign.contexts)):
+            for net in nets:
+                for effect in self.effects:
+                    yield index, (Fault(net=net, effect=effect),)
+
+
+@dataclass
+class RandomMultiFault:
+    """Inject ``num_faults`` simultaneous random faults, ``trials`` times.
+
+    The sampling sequence is seed-stable and engine-independent: trials are
+    drawn first (matching the historical scalar implementation draw for draw)
+    and only then regrouped by transition so the parallel engine can pack
+    them into lanes.  With the default single-effect tuple no extra random
+    draws happen, so legacy flip-only campaigns reproduce the historical
+    counters; passing several effects additionally draws one effect per
+    fault.
+    """
+
+    num_faults: int
+    trials: int
+    target_nets: object = None
+    seed: int = 0
+    effects: Sequence[FaultEffect] = (FaultEffect.TRANSIENT_FLIP,)
+    _resolved: object = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.target_nets is not None and not isinstance(self.target_nets, str):
+            self.target_nets = list(self.target_nets)
+
+    def describe(self) -> str:
+        return f"random {self.num_faults}-fault"
+
+    def resolved_nets(self, campaign: "FaultCampaign") -> List[str]:
+        if self._resolved is not None and self._resolved[0] is campaign:
+            return self._resolved[1]
+        if self.target_nets is None or self.target_nets == "comb":
+            nets = campaign.injector.all_comb_nets()
+        elif self.target_nets == "diffusion":
+            nets = campaign.injector.diffusion_nets()
+        else:
+            nets = list(self.target_nets)
+        self._resolved = (campaign, nets)
+        return nets
+
+    def annotate(self, result: CampaignResult, campaign: "FaultCampaign") -> None:
+        result.target_nets = len(self.resolved_nets(campaign))
+
+    def jobs(self, campaign: "FaultCampaign") -> Iterator[InjectionJob]:
+        if self.num_faults < 1:
+            raise ValueError("num_faults must be >= 1")
+        if not self.effects:
+            raise ValueError("effects must be non-empty")
+        if not campaign.contexts:
+            raise ValueError("the FSM has no reachable transitions")
+        nets = self.resolved_nets(campaign)
+        rng = random.Random(self.seed)
+        drawn: List[InjectionJob] = []
+        for _ in range(self.trials):
+            index = rng.randrange(len(campaign.contexts))
+            chosen = rng.sample(nets, min(self.num_faults, len(nets)))
+            faults = tuple(
+                Fault(
+                    net=net,
+                    effect=self.effects[0]
+                    if len(self.effects) == 1
+                    else self.effects[rng.randrange(len(self.effects))],
+                )
+                for net in chosen
+            )
+            drawn.append((index, faults))
+        # Stable regroup by transition: lanes of one pass share the context.
+        drawn.sort(key=lambda job: job[0])
+        return iter(drawn)
+
+
+def effect_sweep_scenarios(
+    effects: Sequence[FaultEffect] = (
+        FaultEffect.TRANSIENT_FLIP,
+        FaultEffect.STUCK_AT_0,
+        FaultEffect.STUCK_AT_1,
+    ),
+    target_nets: object = None,
+) -> Dict[str, ExhaustiveSingleFault]:
+    """One exhaustive scenario per fault effect (flip / stuck-at-0 / stuck-at-1)."""
+    return {
+        effect.value: ExhaustiveSingleFault(target_nets=target_nets, effects=(effect,))
+        for effect in effects
+    }
+
+
+def scfi_fault_regions(structure: ScfiNetlist) -> Dict[str, List[str]]:
+    """Named structural fault-target regions of one SCFI netlist.
+
+    Mirrors the behavioural target groups of :mod:`repro.fi.behavioral` at the
+    netlist level: FT1 state register outputs, FT2 encoded control inputs, FT3
+    both sides of the hardened function (selected control word feeding the
+    diffusion, and the diffusion-internal XOR nets).
+    """
+    netlist = structure.netlist
+
+    def non_constant(nets: Iterable[str]) -> List[str]:
+        kept = []
+        for net in sorted(set(nets)):
+            driver = netlist.driver_of(net)
+            if driver is not None and driver.gate_type.is_constant:
+                continue
+            kept.append(net)
+        return kept
+
+    encoded_inputs: List[str] = []
+    for nets in structure.input_bits.values():
+        encoded_inputs.extend(nets)
+    return {
+        "FT1_state": list(structure.state_q),
+        "FT2_control": sorted(encoded_inputs),
+        "FT3_phi_input": non_constant(structure.control_nets),
+        "FT3_diffusion": list(structure.diffusion_nets),
+    }
+
+
+def region_sweep_scenarios(
+    structure: ScfiNetlist,
+    effects: Sequence[FaultEffect] = (FaultEffect.TRANSIENT_FLIP,),
+    regions: Optional[Mapping[str, Sequence[str]]] = None,
+) -> Dict[str, ExhaustiveSingleFault]:
+    """Per-target-region exhaustive scenarios (FT1 / FT2 / FT3 sweeps)."""
+    regions = regions if regions is not None else scfi_fault_regions(structure)
+    return {
+        name: ExhaustiveSingleFault(target_nets=list(nets), effects=tuple(effects))
+        for name, nets in regions.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+class FaultCampaign:
+    """Executes fault scenarios against one SCFI-protected netlist.
+
+    ``engine`` selects the evaluation backend: ``"parallel"`` compiles the
+    netlist once and evaluates up to ``lane_width`` fault groups per pass
+    (lane 0 is the fault-free golden lane and is asserted against the
+    analytic next-state code), ``"scalar"`` replays every injection through
+    the reference :class:`~repro.fi.injector.ScfiFaultInjector`.
+    """
+
+    def __init__(
+        self,
+        structure: ScfiNetlist,
+        engine: str = "parallel",
+        lane_width: int = DEFAULT_LANE_WIDTH,
+        keep_outcomes: bool = False,
+    ):
+        if engine not in ("parallel", "scalar"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if lane_width < 1:
+            raise ValueError("lane_width must be >= 1")
+        self.structure = structure
+        self.hardened = structure.hardened
+        self.engine = engine
+        self.lane_width = lane_width
+        self.keep_outcomes = keep_outcomes
+        self.injector = ScfiFaultInjector(structure)
+        self._successors = cfg_successor_map(self.hardened.fsm)
+        self._error_states = frozenset([self.hardened.error_state])
+        self.contexts: List[Tuple[CfgEdge, Dict[str, int]]] = transition_contexts(structure)
+        self._compiled: Optional[CompiledNetlist] = None
+        # Per-context encoded inputs / register loads, built on first use.
+        self._encoded_inputs: Dict[int, Dict[str, int]] = {}
+        self._registers: Dict[int, Dict[str, int]] = {}
+
+    @property
+    def compiled(self) -> CompiledNetlist:
+        """The lazily compiled bit-parallel form of the protected netlist."""
+        if self._compiled is None:
+            self._compiled = CompiledNetlist(self.structure.netlist)
+        return self._compiled
+
+    # ------------------------------------------------------------------
+    def run(self, scenario) -> CampaignResult:
+        """Execute one scenario and return its aggregated result."""
+        result = CampaignResult(
+            name=f"{scenario.describe()} ({self.structure.netlist.name})",
+            keep_outcomes=self.keep_outcomes,
+            transitions_evaluated=len(self.contexts),
+        )
+        scenario.annotate(result, self)
+        if self.engine == "scalar":
+            for index, faults in scenario.jobs(self):
+                self._run_scalar(index, faults, result)
+        else:
+            self._run_batched(scenario.jobs(self), result)
+        return result
+
+    def run_sweep(self, scenarios: Mapping[str, object]) -> Dict[str, CampaignResult]:
+        """Execute several named scenarios; the compiled netlist is shared."""
+        return {name: self.run(scenario) for name, scenario in scenarios.items()}
+
+    # ------------------------------------------------------------------
+    # Scalar oracle path
+    # ------------------------------------------------------------------
+    def _run_scalar(self, index: int, faults: Tuple[Fault, ...], result: CampaignResult) -> None:
+        edge, inputs = self.contexts[index]
+        golden = self.hardened.state_encoding[edge.dst]
+        observed = self.injector.next_code(edge, inputs, faults=faults)
+        self._classify_and_record(edge, faults, golden, observed, result)
+
+    # ------------------------------------------------------------------
+    # Bit-parallel path
+    # ------------------------------------------------------------------
+    def _run_batched(self, jobs: Iterable[InjectionJob], result: CampaignResult) -> None:
+        batch: List[Tuple[Fault, ...]] = []
+        batch_index: Optional[int] = None
+        for index, faults in jobs:
+            if batch_index is not None and (index != batch_index or len(batch) >= self.lane_width):
+                self._flush(batch_index, batch, result)
+                batch = []
+            batch_index = index
+            batch.append(faults)
+        if batch_index is not None and batch:
+            self._flush(batch_index, batch, result)
+
+    def _context_vectors(self, index: int) -> Tuple[Dict[str, int], Dict[str, int]]:
+        encoded = self._encoded_inputs.get(index)
+        if encoded is None:
+            edge, inputs = self.contexts[index]
+            encoded = self.structure.encode_inputs(dict(inputs))
+            state_code = self.hardened.state_encoding[edge.src]
+            self._encoded_inputs[index] = encoded
+            self._registers[index] = {
+                net: (state_code >> i) & 1 for i, net in enumerate(self.structure.state_q)
+            }
+        return encoded, self._registers[index]
+
+    def _flush(
+        self, index: int, fault_groups: List[Tuple[Fault, ...]], result: CampaignResult
+    ) -> None:
+        edge, _ = self.contexts[index]
+        encoded, registers = self._context_vectors(index)
+        lanes = [None] + [fault_set(group) for group in fault_groups]
+        values = self.compiled.evaluate(encoded, fault_lanes=lanes, registers=registers)
+        codes = values.read_words(self.structure.state_d)
+        golden = self.hardened.state_encoding[edge.dst]
+        if codes[0] != golden:
+            raise RuntimeError(
+                f"bit-parallel golden lane diverged on edge {edge.src}->{edge.dst}: "
+                f"expected {golden:#x}, simulated {codes[0]:#x}"
+            )
+        for faults, observed in zip(fault_groups, codes[1:]):
+            self._classify_and_record(edge, faults, golden, observed, result)
+
+    # ------------------------------------------------------------------
+    def _classify_and_record(
+        self,
+        edge: CfgEdge,
+        faults: Tuple[Fault, ...],
+        golden: int,
+        observed: int,
+        result: CampaignResult,
+    ) -> None:
+        observed_state = self.hardened.decode_state(observed)
+        classification = classify_observation(
+            golden,
+            observed,
+            observed_state,
+            error_states=self._error_states,
+            cfg_successors=self._successors.get(edge.src, frozenset()),
+        )
+        if result.keep_outcomes:
+            result.record(
+                FaultOutcome.of_faults(
+                    faults,
+                    source_state=edge.src,
+                    expected_state=edge.dst,
+                    observed_code=observed,
+                    observed_state=observed_state,
+                    classification=classification,
+                )
+            )
+        else:
+            result.tally(classification)
+
+
+def transition_contexts(structure: ScfiNetlist) -> List[Tuple[CfgEdge, Dict[str, int]]]:
+    """(edge, activating raw inputs) for every reachable CFG edge."""
+    fsm = structure.hardened.fsm
+    contexts = []
+    for edge in control_flow_edges(fsm):
+        inputs = activating_inputs(fsm, edge)
+        if inputs is not None:
+            contexts.append((edge, inputs))
+    return contexts

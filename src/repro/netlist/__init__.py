@@ -5,6 +5,7 @@ from repro.netlist.celllib import CellLibrary, CellSpec, nangate45_like_library
 from repro.netlist.netlist import Netlist
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.simulate import NetlistSimulator, FaultSet
+from repro.netlist.parallel import CompiledNetlist, LaneValues
 from repro.netlist.timing import TimingAnalyzer, TimingReport
 from repro.netlist.area import AreaReport, area_report
 
@@ -18,6 +19,8 @@ __all__ = [
     "NetlistBuilder",
     "NetlistSimulator",
     "FaultSet",
+    "CompiledNetlist",
+    "LaneValues",
     "TimingAnalyzer",
     "TimingReport",
     "AreaReport",

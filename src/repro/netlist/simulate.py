@@ -6,6 +6,11 @@ inputs and the current flip-flop outputs.  Faults are expressed as
 driver produced, a *stuck-at* forces the value.  Both transient (single
 evaluation) and permanent (caller re-applies every cycle) behaviour can be
 modelled, matching the fault model of the paper (Section 2.1).
+
+This scalar simulator is the reference oracle; bulk fault campaigns run on
+the bit-parallel :class:`~repro.netlist.parallel.CompiledNetlist` engine,
+which evaluates many fault lanes per pass and is cross-checked against this
+implementation lane for lane.
 """
 
 from __future__ import annotations
@@ -13,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 
 
@@ -70,8 +74,7 @@ class NetlistSimulator:
 
     def set_register_word(self, q_bits: List[str], value: int) -> None:
         """Load an integer into an ordered list of flop outputs (LSB first)."""
-        for i, net in enumerate(q_bits):
-            self.set_registers({net: (value >> i) & 1})
+        self.set_registers({net: (value >> i) & 1 for i, net in enumerate(q_bits)})
 
     def read_register_word(self, q_bits: List[str]) -> int:
         return sum(self.registers[net] << i for i, net in enumerate(q_bits))
@@ -145,14 +148,9 @@ def injectable_nets(netlist: Netlist, include_inputs: bool = False) -> List[str]
     Constant tie cells are excluded: a fault on a tie output is equivalent to a
     fault on every reader and inflates campaign sizes without adding coverage.
     """
-    nets: List[str] = []
-    for gate in netlist.gates.values():
-        if gate.gate_type.is_constant:
-            continue
-        if gate.gate_type is GateType.DFF:
-            nets.append(gate.output)
-        else:
-            nets.append(gate.output)
+    nets: List[str] = [
+        gate.output for gate in netlist.gates.values() if not gate.gate_type.is_constant
+    ]
     if include_inputs:
         nets.extend(netlist.primary_inputs)
     return sorted(set(nets))

@@ -81,3 +81,72 @@ class TestFaultCampaignCli:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "injections" in captured.out
+
+    def test_regions_mode(self, capsys):
+        exit_code = fi_main(["--fsm", "traffic_light", "--mode", "regions"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for region in ("FT1_state", "FT2_control", "FT3_phi_input", "FT3_diffusion"):
+            assert region in captured.out
+
+    def test_effects_mode(self, capsys):
+        exit_code = fi_main(["--fsm", "traffic_light", "--mode", "effects"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for effect in ("flip", "stuck0", "stuck1"):
+            assert effect in captured.out
+
+    def test_effects_mode_honours_selection(self, capsys):
+        exit_code = fi_main(
+            ["--fsm", "traffic_light", "--mode", "effects", "--effects", "flip", "stuck0"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "flip" in captured.out
+        assert "stuck0" in captured.out
+        assert "stuck1" not in captured.out
+
+    def test_rejects_zero_lane_width(self):
+        with pytest.raises(SystemExit):
+            fi_main(["--fsm", "traffic_light", "--lane-width", "0"])
+
+    def test_rejects_gate_level_flags_in_behavioral_mode(self):
+        with pytest.raises(SystemExit):
+            fi_main(["--fsm", "traffic_light", "--mode", "behavioral", "--compare"])
+        with pytest.raises(SystemExit):
+            fi_main(["--fsm", "traffic_light", "--mode", "behavioral", "--target", "comb"])
+
+    def test_rejects_target_in_regions_mode(self):
+        with pytest.raises(SystemExit):
+            fi_main(["--fsm", "traffic_light", "--mode", "regions", "--target", "comb"])
+
+    def test_random_mode_honours_effects(self, capsys):
+        exit_code = fi_main(
+            [
+                "--fsm",
+                "traffic_light",
+                "--mode",
+                "random",
+                "--trials",
+                "25",
+                "--effects",
+                "stuck1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "injections" in captured.out
+
+    def test_compare_engines(self, capsys):
+        exit_code = fi_main(["--fsm", "traffic_light", "--mode", "exhaustive", "--compare"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "engines agree" in captured.out
+
+    def test_scalar_engine_and_comb_target(self, capsys):
+        exit_code = fi_main(
+            ["--fsm", "traffic_light", "--mode", "exhaustive", "--engine", "scalar", "--target", "comb"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "injections" in captured.out

@@ -52,6 +52,14 @@ class TestTable1:
         assert "ibex_lsu" in text
         assert "Geometric Mean" in text
 
+    def test_verify_security_attaches_zero_hijack_campaigns(self, small_models):
+        result = run_table1(small_models[:1], protection_levels=(2,), verify_security=True)
+        row = result.rows[0]
+        assert set(row.scfi_security) == {2}
+        campaign = row.scfi_security[2]
+        assert campaign.total_injections > 0
+        assert campaign.hijacked == 0
+
 
 class TestFigure8:
     PERIODS = (3000, 5200)
@@ -96,6 +104,19 @@ class TestFigure8:
         text = figure8_result.format()
         assert "period" in text
         assert "max frequency" in text
+
+    def test_verify_security_checks_scfi_configuration(self):
+        model = ModuleModel(fsm=uart_rx_fsm(), module_area_ge=500.0, datapath_depth=10, seed=3)
+        result = run_figure8(
+            model,
+            protection_level=2,
+            clock_periods_ps=(5200,),
+            configurations=("scfi",),
+            verify_security=True,
+        )
+        assert set(result.security_checks) == {"scfi"}
+        assert result.security_checks["scfi"].hijacked == 0
+        assert result.security_checks["scfi"].total_injections > 0
 
 
 class TestFormalAnalysis:

@@ -1,0 +1,188 @@
+"""Tests for the unified fault-campaign orchestration layer."""
+
+import pytest
+
+from repro.eval.security import structural_fault_target_sweep
+from repro.fi.model import Classification, Fault, FaultEffect, FaultOutcome
+from repro.fi.orchestrator import (
+    ExhaustiveSingleFault,
+    FaultCampaign,
+    RandomMultiFault,
+    effect_sweep_scenarios,
+    region_sweep_scenarios,
+    scfi_fault_regions,
+)
+
+
+class TestFaultCampaignExecutor:
+    def test_rejects_unknown_engine(self, protected_traffic_light):
+        with pytest.raises(ValueError):
+            FaultCampaign(protected_traffic_light.structure, engine="quantum")
+
+    def test_rejects_bad_lane_width(self, protected_traffic_light):
+        with pytest.raises(ValueError):
+            FaultCampaign(protected_traffic_light.structure, lane_width=0)
+
+    def test_counters_independent_of_lane_width(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        scenario = ExhaustiveSingleFault(target_nets="comb")
+        wide = FaultCampaign(structure, lane_width=256).run(scenario)
+        narrow = FaultCampaign(structure, lane_width=3).run(scenario)
+        single = FaultCampaign(structure, lane_width=1).run(scenario)
+        assert wide.counters() == narrow.counters() == single.counters()
+        assert wide.total_injections == narrow.total_injections == single.total_injections
+
+    def test_parallel_matches_scalar_oracle(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        scenario = ExhaustiveSingleFault(
+            target_nets="comb",
+            effects=(FaultEffect.TRANSIENT_FLIP, FaultEffect.STUCK_AT_0, FaultEffect.STUCK_AT_1),
+        )
+        parallel = FaultCampaign(structure, engine="parallel").run(scenario)
+        scalar = FaultCampaign(structure, engine="scalar").run(scenario)
+        assert parallel.counters() == scalar.counters()
+        assert parallel.total_injections == scalar.total_injections
+
+    def test_outcomes_identical_across_engines(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        scenario = ExhaustiveSingleFault()  # diffusion layer
+        parallel = FaultCampaign(structure, keep_outcomes=True).run(scenario)
+        scalar = FaultCampaign(structure, engine="scalar", keep_outcomes=True).run(scenario)
+        assert parallel.outcomes == scalar.outcomes
+
+    def test_run_sweep_shares_compiled_netlist(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        results = campaign.run_sweep(
+            {"a": ExhaustiveSingleFault(), "b": ExhaustiveSingleFault()}
+        )
+        assert results["a"].counters() == results["b"].counters()
+
+
+class TestScenarios:
+    def test_exhaustive_target_aliases(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        diffusion = ExhaustiveSingleFault(target_nets="diffusion").resolved_nets(campaign)
+        default = ExhaustiveSingleFault().resolved_nets(campaign)
+        comb = ExhaustiveSingleFault(target_nets="comb").resolved_nets(campaign)
+        assert diffusion == default
+        assert set(diffusion).issubset(set(comb))
+
+    def test_random_multi_fault_records_all_faults(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure, keep_outcomes=True)
+        result = campaign.run(RandomMultiFault(num_faults=3, trials=25, seed=5))
+        assert result.total_injections == 25
+        assert all(outcome.num_faults == 3 for outcome in result.outcomes)
+        assert all(len({f.net for f in outcome.faults}) == 3 for outcome in result.outcomes)
+
+    def test_random_multi_fault_rejects_zero_faults(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        with pytest.raises(ValueError):
+            campaign.run(RandomMultiFault(num_faults=0, trials=5))
+
+    def test_random_multi_fault_effect_axis(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure, keep_outcomes=True)
+        result = campaign.run(
+            RandomMultiFault(num_faults=2, trials=20, seed=1, effects=(FaultEffect.STUCK_AT_0,))
+        )
+        assert all(
+            fault.effect is FaultEffect.STUCK_AT_0
+            for outcome in result.outcomes
+            for fault in outcome.faults
+        )
+        mixed = campaign.run(
+            RandomMultiFault(
+                num_faults=2,
+                trials=40,
+                seed=1,
+                effects=(FaultEffect.STUCK_AT_0, FaultEffect.STUCK_AT_1),
+            )
+        )
+        effects_seen = {
+            fault.effect for outcome in mixed.outcomes for fault in outcome.faults
+        }
+        assert effects_seen == {FaultEffect.STUCK_AT_0, FaultEffect.STUCK_AT_1}
+
+    def test_random_multi_fault_rejects_empty_effects(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        with pytest.raises(ValueError):
+            campaign.run(RandomMultiFault(num_faults=1, trials=5, effects=()))
+
+    def test_effect_sweep_covers_all_effects(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        results = campaign.run_sweep(effect_sweep_scenarios())
+        assert set(results) == {"flip", "stuck0", "stuck1"}
+        base = results["flip"].total_injections
+        assert all(r.total_injections == base for r in results.values())
+
+    def test_single_faults_on_diffusion_never_hijack(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        result = campaign.run(ExhaustiveSingleFault())
+        assert result.hijacked == 0
+        assert result.detection_rate > 0.5
+
+
+class TestRegionSweeps:
+    def test_region_names_match_behavioral_targets(self, protected_traffic_light):
+        regions = scfi_fault_regions(protected_traffic_light.structure)
+        assert set(regions) == {"FT1_state", "FT2_control", "FT3_phi_input", "FT3_diffusion"}
+        assert all(regions.values())
+
+    def test_regions_exclude_constant_ties(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        regions = scfi_fault_regions(structure)
+        for net in regions["FT3_phi_input"]:
+            driver = structure.netlist.driver_of(net)
+            assert driver is None or not driver.gate_type.is_constant
+
+    def test_structural_sweep_matches_section63_claims(self, protected_traffic_light):
+        """Single structural faults on FT1/FT2 must never hijack (distance N)."""
+        sweep = structural_fault_target_sweep(protected_traffic_light.structure)
+        assert set(sweep) == {"FT1_state", "FT2_control", "FT3_phi_input", "FT3_diffusion"}
+        assert sweep["FT1_state"].hijacked == 0
+        assert sweep["FT1_state"].detected == sweep["FT1_state"].total_injections
+        assert sweep["FT2_control"].hijacked == 0
+
+    def test_structural_sweep_engine_independent(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        parallel = structural_fault_target_sweep(structure)
+        scalar = structural_fault_target_sweep(structure, engine="scalar")
+        for name in parallel:
+            assert parallel[name].counters() == scalar[name].counters()
+
+
+class TestFaultOutcomeModel:
+    def test_single_fault_fills_faults_tuple(self):
+        outcome = FaultOutcome(
+            fault=Fault("n1"),
+            source_state="A",
+            expected_state="B",
+            observed_code=0,
+            observed_state="B",
+            classification=Classification.MASKED,
+        )
+        assert outcome.faults == (Fault("n1"),)
+        assert outcome.num_faults == 1
+
+    def test_of_faults_carries_every_fault(self):
+        faults = (Fault("n1"), Fault("n2"), Fault("n3"))
+        outcome = FaultOutcome.of_faults(
+            faults,
+            source_state="A",
+            expected_state="B",
+            observed_code=7,
+            observed_state=None,
+            classification=Classification.DETECTED,
+        )
+        assert outcome.fault == faults[0]
+        assert outcome.faults == faults
+
+    def test_of_faults_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FaultOutcome.of_faults(
+                (),
+                source_state="A",
+                expected_state="B",
+                observed_code=0,
+                observed_state=None,
+                classification=Classification.DETECTED,
+            )

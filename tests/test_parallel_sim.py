@@ -1,0 +1,183 @@
+"""Property-based equivalence of the bit-parallel engine and the scalar oracle.
+
+Hypothesis-style: seeded random netlists (random DAGs over every supported
+cell type, with flip-flop feedback) and random per-lane fault sets are thrown
+at both engines, and every net of every lane must match the scalar
+``NetlistSimulator`` evaluation with the same ``FaultSet``.  A regression
+block pins the ``ibex_lsu_fsm`` campaign counters to the values produced by
+the pre-refactor scalar implementation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.fi.campaign import exhaustive_single_fault_campaign, random_multi_fault_campaign
+from repro.fsmlib.opentitan import ibex_lsu_fsm
+from repro.netlist.gates import Gate, GateType
+from repro.netlist.netlist import Netlist
+from repro.netlist.parallel import CompiledNetlist
+from repro.netlist.simulate import FaultSet, NetlistSimulator, injectable_nets
+
+_COMB_TYPES = [
+    GateType.TIE0,
+    GateType.TIE1,
+    GateType.BUF,
+    GateType.INV,
+    GateType.AND2,
+    GateType.NAND2,
+    GateType.OR2,
+    GateType.NOR2,
+    GateType.XOR2,
+    GateType.XNOR2,
+    GateType.MUX2,
+]
+
+
+def random_netlist(rng: random.Random, name: str, min_flops: int = 0) -> Netlist:
+    """A random combinational DAG with optional flip-flop feedback."""
+    netlist = Netlist(name)
+    inputs = [netlist.add_input(f"in{i}") for i in range(rng.randint(1, 5))]
+    q_nets = [f"q{i}" for i in range(rng.randint(min_flops, 3))]
+    available = inputs + q_nets  # q nets are driven by the DFFs added below
+    for i in range(rng.randint(5, 60)):
+        gate_type = rng.choice(_COMB_TYPES)
+        operands = [rng.choice(available) for _ in range(gate_type.num_inputs)]
+        out = f"n{i}"
+        netlist.add_gate(Gate(name=f"g{i}", gate_type=gate_type, inputs=operands, output=out))
+        available.append(out)
+    for i, q_net in enumerate(q_nets):
+        netlist.add_gate(
+            Gate(name=f"ff{i}", gate_type=GateType.DFF, inputs=[rng.choice(available)], output=q_net)
+        )
+    for net in rng.sample(available, min(3, len(available))):
+        netlist.add_output(net)
+    netlist.validate()
+    return netlist
+
+
+def random_fault_set(rng: random.Random, nets) -> FaultSet:
+    count = rng.randint(1, 4)
+    chosen = rng.sample(nets, min(count, len(nets)))
+    split = rng.randint(0, len(chosen))
+    return FaultSet(
+        flips=frozenset(chosen[:split]),
+        stuck_at={net: rng.randint(0, 1) for net in chosen[split:]},
+    )
+
+
+class TestRandomNetlistEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_all_nets_match_lane_for_lane(self, seed):
+        rng = random.Random(seed)
+        netlist = random_netlist(rng, f"rand{seed}")
+        simulator = NetlistSimulator(netlist)
+        compiled = CompiledNetlist(netlist)
+        targets = injectable_nets(netlist, include_inputs=True)
+
+        inputs = {net: rng.randint(0, 1) for net in netlist.primary_inputs}
+        registers = {net: rng.randint(0, 1) for net in simulator.registers}
+        lanes = [None] + [random_fault_set(rng, targets) for _ in range(rng.randint(1, 33))]
+
+        lane_values = compiled.evaluate(inputs, fault_lanes=lanes, registers=registers)
+        assert lane_values.num_lanes == len(lanes)
+        for lane, fault_set in enumerate(lanes):
+            reference = simulator.evaluate(
+                inputs, faults=fault_set or FaultSet(), registers=registers
+            )
+            assert lane_values.lane_values(lane) == reference
+
+    @pytest.mark.parametrize("seed", range(25, 35))
+    def test_next_register_codes_match(self, seed):
+        rng = random.Random(seed)
+        netlist = random_netlist(rng, f"randreg{seed}", min_flops=1)
+        simulator = NetlistSimulator(netlist)
+        compiled = CompiledNetlist(netlist)
+        q_bits = sorted(simulator.registers)
+        targets = injectable_nets(netlist, include_inputs=True)
+
+        inputs = {net: rng.randint(0, 1) for net in netlist.primary_inputs}
+        registers = {net: rng.randint(0, 1) for net in simulator.registers}
+        lanes = [None] + [random_fault_set(rng, targets) for _ in range(8)]
+        codes = compiled.next_register_codes(
+            inputs, q_bits, fault_lanes=lanes, registers=registers
+        )
+        for lane, fault_set in enumerate(lanes):
+            next_values = simulator.next_register_values(
+                inputs, faults=fault_set or FaultSet(), registers=registers
+            )
+            expected = sum(next_values[q] << i for i, q in enumerate(q_bits))
+            assert codes[lane] == expected
+
+    def test_stuck_at_beats_flip_on_same_net(self):
+        netlist = Netlist("prio")
+        a = netlist.add_input("a")
+        netlist.add_gate(Gate(name="g", gate_type=GateType.BUF, inputs=[a], output="y"))
+        compiled = CompiledNetlist(netlist)
+        fault = FaultSet(flips=frozenset(["y"]), stuck_at={"y": 1})
+        values = compiled.evaluate({"a": 0}, fault_lanes=[None, fault])
+        reference = NetlistSimulator(netlist).evaluate({"a": 0}, faults=fault)
+        assert values.lane_value("y", 1) == reference["y"] == 1
+        assert values.lane_value("y", 0) == 0
+
+    def test_requires_at_least_one_lane(self):
+        netlist = Netlist("empty_lanes")
+        netlist.add_input("a")
+        compiled = CompiledNetlist(netlist)
+        with pytest.raises(ValueError):
+            compiled.evaluate({"a": 1}, fault_lanes=[])
+
+
+class TestProtectedNetlistEquivalence:
+    def test_lanes_match_on_scfi_netlist(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        simulator = NetlistSimulator(structure.netlist)
+        compiled = CompiledNetlist(structure.netlist)
+        rng = random.Random(99)
+        targets = injectable_nets(structure.netlist, include_inputs=True)
+        reset_code = structure.hardened.state_encoding[structure.hardened.fsm.reset_state]
+        registers = {net: (reset_code >> i) & 1 for i, net in enumerate(structure.state_q)}
+        inputs = {net: rng.randint(0, 1) for net in structure.netlist.primary_inputs}
+        lanes = [None] + [random_fault_set(rng, targets) for _ in range(64)]
+        lane_values = compiled.evaluate(inputs, fault_lanes=lanes, registers=registers)
+        for lane, fault_set in enumerate(lanes):
+            reference = simulator.evaluate(
+                inputs, faults=fault_set or FaultSet(), registers=registers
+            )
+            assert lane_values.lane_values(lane) == reference
+
+
+class TestIbexLsuRegression:
+    """Campaign counters must be identical pre/post refactor on ibex_lsu_fsm.
+
+    The literal counter tuples below were produced by the scalar
+    one-injection-at-a-time implementation that predates the bit-parallel
+    engine; both engines must keep reproducing them exactly.
+    """
+
+    @pytest.fixture(scope="class")
+    def ibex_structure(self):
+        return protect_fsm(
+            ibex_lsu_fsm(), ScfiOptions(protection_level=2, generate_verilog=False)
+        ).structure
+
+    def test_diffusion_counters_both_engines(self, ibex_structure):
+        parallel = exhaustive_single_fault_campaign(ibex_structure)
+        scalar = exhaustive_single_fault_campaign(ibex_structure, engine="scalar")
+        assert parallel.counters() == scalar.counters() == (0, 238, 0, 0)
+
+    def test_comb_cloud_counters_both_engines(self, ibex_structure):
+        parallel = exhaustive_single_fault_campaign(ibex_structure, target_nets="comb")
+        scalar = exhaustive_single_fault_campaign(ibex_structure, target_nets="comb", engine="scalar")
+        assert parallel.counters() == scalar.counters() == (1369, 1479, 74, 88)
+
+    def test_random_campaign_counters_engine_independent(self, ibex_structure):
+        parallel = random_multi_fault_campaign(ibex_structure, num_faults=2, trials=400, seed=11)
+        scalar = random_multi_fault_campaign(
+            ibex_structure, num_faults=2, trials=400, seed=11, engine="scalar"
+        )
+        assert parallel.counters() == scalar.counters()
+        assert parallel.total_injections == 400
