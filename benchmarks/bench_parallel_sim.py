@@ -1,10 +1,15 @@
-"""Benchmark: bit-parallel vs scalar exhaustive campaigns (ISSUE 1 tentpole).
+"""Benchmark: bit-parallel vs scalar exhaustive campaigns.
 
-Runs the Section 6.4 exhaustive single-fault campaign over the **full
-combinational cloud** of the SCFI-protected ``ibex_lsu_fsm`` on both engines,
-asserts the classification counters are identical, and requires the
-bit-parallel engine to be at least 10x faster than the scalar
-one-injection-at-a-time oracle.
+Two enforced floors:
+
+* the Section 6.4 exhaustive single-fault campaign over the **full
+  combinational cloud** of the SCFI-protected ``ibex_lsu_fsm`` must run at
+  least 10x faster on the bit-parallel engine than on the scalar
+  one-injection-at-a-time oracle (ISSUE 1 tentpole); and
+* the FT1 region sweep -- the **few nets x many transitions** shape -- must
+  run at least 2x faster with context-batched lane packing than with the
+  PR 1 one-context-per-pass batching (ISSUE 3 tentpole), with classification
+  counters identical to the scalar oracle on all three engines.
 """
 
 from __future__ import annotations
@@ -15,11 +20,20 @@ import pytest
 
 from repro.core.scfi import ScfiOptions, protect_fsm
 from repro.fi.campaign import exhaustive_single_fault_campaign
-from repro.fi.orchestrator import FaultCampaign, region_sweep_scenarios
+from repro.fi.orchestrator import (
+    ExhaustiveSingleFault,
+    FaultCampaign,
+    region_sweep_scenarios,
+    scfi_fault_regions,
+)
 from repro.fsmlib.opentitan import ibex_lsu_fsm
 
 #: Required tentpole speedup on the full comb cloud (acceptance criterion).
 MIN_SPEEDUP = 10.0
+
+#: Required speedup of context-batched over per-context lane packing on the
+#: few-nets/many-transitions FT1 sweep (ISSUE 3 acceptance criterion).
+MIN_CONTEXT_PACKING_SPEEDUP = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -51,6 +65,57 @@ def test_bench_parallel_vs_scalar_comb_cloud(benchmark, once, ibex_structure):
     assert parallel.counters() == scalar.counters(), "engines disagree on classification"
     assert parallel.total_injections == scalar.total_injections
     assert speedup >= MIN_SPEEDUP, f"bit-parallel speedup {speedup:.1f}x below {MIN_SPEEDUP}x"
+
+
+def test_bench_context_batched_ft1_sweep(benchmark, once, ibex_structure):
+    """Few nets x many transitions: context packing must beat per-context 2x.
+
+    The FT1 state-register sweep injects into a handful of nets on every
+    reachable transition, so per-context batching leaves almost the whole
+    lane budget empty.  Times are the best of several repetitions (the sweep
+    is sub-millisecond, single runs are noise-dominated).
+    """
+    scenario = ExhaustiveSingleFault(target_nets=list(scfi_fault_regions(ibex_structure)["FT1_state"]))
+    campaigns = {
+        "scalar": FaultCampaign(ibex_structure, engine="scalar"),
+        "per-context": FaultCampaign(ibex_structure, pack_contexts=False),
+        "packed": FaultCampaign(ibex_structure),
+        "packed-compiled": FaultCampaign(ibex_structure, engine="parallel-compiled"),
+    }
+
+    def best_of(campaign, reps):
+        campaign.run(scenario)  # warm caches (compiled netlist, contexts)
+        best = float("inf")
+        result = None
+        for _ in range(reps):
+            start = time.perf_counter()
+            result = campaign.run(scenario)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    times, results = {}, {}
+    times["scalar"], results["scalar"] = best_of(campaigns["scalar"], reps=3)
+    times["per-context"], results["per-context"] = best_of(campaigns["per-context"], reps=30)
+    times["packed-compiled"], results["packed-compiled"] = best_of(
+        campaigns["packed-compiled"], reps=30
+    )
+    # Register a pytest-benchmark record for the packed engine; the enforced
+    # assertion below uses the noise-resistant best-of timings instead.
+    once(benchmark, campaigns["packed"].run, scenario)
+    times["packed"], results["packed"] = best_of(campaigns["packed"], reps=30)
+
+    speedup = times["per-context"] / max(times["packed"], 1e-9)
+    print()
+    for name in ("scalar", "per-context", "packed", "packed-compiled"):
+        print(f"  {name:<16} {times[name] * 1e3:7.2f} ms  {results[name].format()}")
+    print(f"  context packing: {speedup:.1f}x over per-context batching")
+
+    oracle = results["scalar"].counters()
+    for name in ("per-context", "packed", "packed-compiled"):
+        assert results[name].counters() == oracle, f"{name} disagrees with the scalar oracle"
+    assert speedup >= MIN_CONTEXT_PACKING_SPEEDUP, (
+        f"context-batched packing speedup {speedup:.1f}x below {MIN_CONTEXT_PACKING_SPEEDUP}x"
+    )
 
 
 def test_bench_region_sweep_parallel(benchmark, once, ibex_structure):

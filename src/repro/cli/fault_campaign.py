@@ -2,8 +2,10 @@
 
 All gate-level modes execute on the unified campaign layer
 (:mod:`repro.fi.orchestrator`) with the bit-parallel engine by default;
-``--engine scalar`` replays on the reference simulator and ``--compare`` runs
-both and checks the classification counters match lane for lane.
+``--engine parallel-compiled`` runs the same lane batches on the
+source-compiled evaluator, ``--engine scalar`` replays on the reference
+simulator and ``--compare`` additionally runs the cross-check engine and
+asserts the classification counters match lane for lane.
 
 Modes:
 
@@ -67,20 +69,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["parallel", "scalar"],
+        choices=["parallel", "parallel-compiled", "scalar"],
         default="parallel",
-        help="bit-parallel lane engine (default) or the scalar reference simulator",
+        help="bit-parallel lane engine (default), the same lanes on the "
+        "source-compiled evaluator (netlist exec'd as generated Python, "
+        "fastest), or the scalar reference simulator",
     )
     parser.add_argument(
         "--lane-width",
         type=int,
         default=DEFAULT_LANE_WIDTH,
-        help="fault lanes packed per bit-parallel pass",
+        help="fault lanes packed per bit-parallel pass; lanes are filled "
+        "across transition contexts, so sweeps over few nets but many "
+        "transitions still use the full width",
     )
     parser.add_argument(
         "--compare",
         action="store_true",
-        help="run on both engines and assert identical classification counters",
+        help="also run the scalar reference oracle (or, from --engine scalar, "
+        "the parallel engine) and assert identical classification counters",
     )
     parser.add_argument("--faults", type=int, default=2, help="simultaneous faults (random/behavioral)")
     parser.add_argument("--trials", type=int, default=1000, help="trials (random/behavioral)")
@@ -147,7 +154,7 @@ def main(argv=None) -> int:
         prefix = f"{name:<15} " if len(results) > 1 else ""
         print(f"{prefix}{campaign.format()}")
     if args.compare:
-        other_engine = "scalar" if args.engine == "parallel" else "parallel"
+        other_engine = "parallel" if args.engine == "scalar" else "scalar"
         oracle = FaultCampaign(result.structure, engine=other_engine, lane_width=args.lane_width)
         for name, reference in oracle.run_sweep(scenarios).items():
             if reference.counters() != results[name].counters():

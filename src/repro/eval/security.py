@@ -21,7 +21,12 @@ from typing import Dict, Sequence
 from repro.core.hardened import HardenedFsm
 from repro.core.structure import ScfiNetlist
 from repro.fi.model import FaultEffect
-from repro.fi.orchestrator import CampaignResult, FaultCampaign, region_sweep_scenarios
+from repro.fi.orchestrator import (
+    DEFAULT_LANE_WIDTH,
+    CampaignResult,
+    FaultCampaign,
+    region_sweep_scenarios,
+)
 from repro.fi.behavioral import (
     TARGET_CONTROL,
     TARGET_DIFFUSION,
@@ -98,15 +103,20 @@ def structural_fault_target_sweep(
     structure: ScfiNetlist,
     effects: Sequence[FaultEffect] = (FaultEffect.TRANSIENT_FLIP,),
     engine: str = "parallel",
+    lane_width: int = DEFAULT_LANE_WIDTH,
 ) -> Dict[str, CampaignResult]:
     """Gate-level companion of :func:`fault_target_sweep` (Section 6.4 style).
 
     Runs one exhaustive single-fault campaign per structural target region
     (FT1 state register, FT2 encoded control inputs, FT3 selected control
-    word and diffusion internals) on the bit-parallel engine and returns the
-    per-region classification counters.
+    word and diffusion internals) and returns the per-region classification
+    counters.  These sweeps are exactly the few-nets/many-transitions shape
+    the context-batched lane packing was built for: every pass mixes
+    transition contexts, so ``engine="parallel"`` (or ``"parallel-compiled"``)
+    fills its ``lane_width`` budget instead of paying one pass per edge;
+    ``engine="scalar"`` remains the cross-check oracle.
     """
-    campaign = FaultCampaign(structure, engine=engine)
+    campaign = FaultCampaign(structure, engine=engine, lane_width=lane_width)
     return campaign.run_sweep(region_sweep_scenarios(structure, effects=effects))
 
 

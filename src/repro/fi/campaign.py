@@ -14,8 +14,13 @@ functions below keep the historical API of the Section 6.4 experiments:
   scaling claims of the threat model.
 
 Both accept ``engine="scalar"`` to replay the campaign on the reference
-:class:`~repro.netlist.simulate.NetlistSimulator`; counters are identical by
-construction and asserted in the tests and benchmarks.
+:class:`~repro.netlist.simulate.NetlistSimulator` and
+``engine="parallel-compiled"`` to run the bit-parallel batches on the
+source-compiled evaluator; counters are identical across all engines by
+construction and asserted in the tests and benchmarks.  Explicit
+``target_nets`` lists are validated up front -- naming a net the netlist does
+not contain raises :class:`ValueError` instead of silently counting the
+injection as masked.
 """
 
 from __future__ import annotations

@@ -13,12 +13,24 @@ combination of
   (:func:`effect_sweep_scenarios`) and per-target-region FT1/FT2/FT3 sweeps
   (:func:`region_sweep_scenarios`).
 
-Every scenario runs on either engine: ``engine="parallel"`` (default) packs up
-to ``lane_width`` fault groups per netlist pass, ``engine="scalar"`` walks the
-reference :class:`~repro.netlist.simulate.NetlistSimulator` one injection at a
-time and serves as the cross-check oracle.  Classification counters are
+Every scenario runs on any engine: ``engine="parallel"`` (default) packs up to
+``lane_width`` fault groups per netlist pass, ``engine="parallel-compiled"``
+does the same on the source-compiled evaluator
+(:meth:`~repro.netlist.parallel.CompiledNetlist.compile_to_source`), and
+``engine="scalar"`` walks the reference
+:class:`~repro.netlist.simulate.NetlistSimulator` one injection at a time and
+serves as the cross-check oracle.  The bit-parallel engines batch *across
+transition contexts*: lanes of one pass may simulate different CFG edges
+(each distinct context contributes one golden lane, asserted against the
+analytic next state), so few-nets/many-transitions sweeps -- the FT1/FT2
+region sweeps, random multi-fault sampling -- fill the lane budget instead of
+paying one mostly-empty pass per transition.  Classification counters are
 engine-independent by construction; ``tests/test_fi_orchestrator.py`` and
 ``benchmarks/bench_parallel_sim.py`` assert it.
+
+Fault targets are validated up front: a scenario naming a net the netlist
+does not contain raises :class:`ValueError` (on every engine) instead of
+silently reporting the fault as masked.
 
 The legacy entry points in :mod:`repro.fi.campaign` are thin wrappers around
 this layer, as are the structural sweeps in :mod:`repro.eval.security` and the
@@ -43,6 +55,7 @@ from repro.fi.model import (
 )
 from repro.fsm.cfg import CfgEdge, control_flow_edges
 from repro.netlist.parallel import CompiledNetlist
+from repro.netlist.simulate import FaultSet
 
 #: Fault groups packed into one bit-parallel pass (plus the golden lane 0).
 DEFAULT_LANE_WIDTH = 256
@@ -153,8 +166,11 @@ class ExhaustiveSingleFault:
             nets = campaign.injector.diffusion_nets()
         elif self.target_nets == "comb":
             nets = campaign.injector.all_comb_nets()
+        elif isinstance(self.target_nets, str):
+            raise ValueError(f"unknown target-net alias {self.target_nets!r}")
         else:
             nets = list(self.target_nets)
+            campaign.validate_target_nets(nets)
         self._resolved = (campaign, nets)
         return nets
 
@@ -180,6 +196,10 @@ class RandomMultiFault:
     draws happen, so legacy flip-only campaigns reproduce the historical
     counters; passing several effects additionally draws one effect per
     fault.
+
+    ``num_faults`` must not exceed the size of the target-net pool: silently
+    truncating the draw would run a weaker campaign than requested, so that
+    case raises :class:`ValueError` instead.
     """
 
     num_faults: int
@@ -203,8 +223,11 @@ class RandomMultiFault:
             nets = campaign.injector.all_comb_nets()
         elif self.target_nets == "diffusion":
             nets = campaign.injector.diffusion_nets()
+        elif isinstance(self.target_nets, str):
+            raise ValueError(f"unknown target-net alias {self.target_nets!r}")
         else:
             nets = list(self.target_nets)
+            campaign.validate_target_nets(nets)
         self._resolved = (campaign, nets)
         return nets
 
@@ -219,11 +242,16 @@ class RandomMultiFault:
         if not campaign.contexts:
             raise ValueError("the FSM has no reachable transitions")
         nets = self.resolved_nets(campaign)
+        if self.num_faults > len(nets):
+            raise ValueError(
+                f"num_faults={self.num_faults} exceeds the {len(nets)} available "
+                f"target nets; a truncated draw would silently weaken the campaign"
+            )
         rng = random.Random(self.seed)
         drawn: List[InjectionJob] = []
         for _ in range(self.trials):
             index = rng.randrange(len(campaign.contexts))
-            chosen = rng.sample(nets, min(self.num_faults, len(nets)))
+            chosen = rng.sample(nets, self.num_faults)
             faults = tuple(
                 Fault(
                     net=net,
@@ -304,11 +332,21 @@ class FaultCampaign:
     """Executes fault scenarios against one SCFI-protected netlist.
 
     ``engine`` selects the evaluation backend: ``"parallel"`` compiles the
-    netlist once and evaluates up to ``lane_width`` fault groups per pass
-    (lane 0 is the fault-free golden lane and is asserted against the
-    analytic next-state code), ``"scalar"`` replays every injection through
-    the reference :class:`~repro.fi.injector.ScfiFaultInjector`.
+    netlist once and evaluates batches of fault groups per pass on the
+    interpreted op list, ``"parallel-compiled"`` uses the source-compiled
+    evaluator generated by
+    :meth:`~repro.netlist.parallel.CompiledNetlist.compile_to_source` for the
+    same batches, and ``"scalar"`` replays every injection through the
+    reference :class:`~repro.fi.injector.ScfiFaultInjector`.
+
+    The bit-parallel engines pack lanes **across transition contexts** (one
+    golden lane per distinct context in a pass, each asserted against the
+    analytic next-state code) so that campaigns over few nets but many
+    transitions still fill the lane budget; ``pack_contexts=False`` restores
+    the one-context-per-pass batching for comparison benchmarks.
     """
+
+    ENGINES = ("parallel", "parallel-compiled", "scalar")
 
     def __init__(
         self,
@@ -316,9 +354,10 @@ class FaultCampaign:
         engine: str = "parallel",
         lane_width: int = DEFAULT_LANE_WIDTH,
         keep_outcomes: bool = False,
+        pack_contexts: bool = True,
     ):
-        if engine not in ("parallel", "scalar"):
-            raise ValueError(f"unknown engine {engine!r}")
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (choose from {self.ENGINES})")
         if lane_width < 1:
             raise ValueError("lane_width must be >= 1")
         self.structure = structure
@@ -326,14 +365,24 @@ class FaultCampaign:
         self.engine = engine
         self.lane_width = lane_width
         self.keep_outcomes = keep_outcomes
+        self.pack_contexts = pack_contexts
         self.injector = ScfiFaultInjector(structure)
+        self._use_source = engine == "parallel-compiled"
         self._successors = cfg_successor_map(self.hardened.fsm)
         self._error_states = frozenset([self.hardened.error_state])
         self.contexts: List[Tuple[CfgEdge, Dict[str, int]]] = transition_contexts(structure)
         self._compiled: Optional[CompiledNetlist] = None
+        self._state_d_ids: Optional[List[int]] = None
+        self._known_nets = frozenset(structure.netlist.primary_inputs) | frozenset(
+            gate.output for gate in structure.netlist.gates.values()
+        )
         # Per-context encoded inputs / register loads, built on first use.
         self._encoded_inputs: Dict[int, Dict[str, int]] = {}
         self._registers: Dict[int, Dict[str, int]] = {}
+        # Nets that read 1 in a context (lane-word assembly skips the zeros).
+        self._ones: Dict[int, Tuple[List[str], List[str]]] = {}
+        # Classification is a pure function of (context, observed code).
+        self._classify_cache: Dict[Tuple[int, int], Tuple[Classification, Optional[str]]] = {}
 
     @property
     def compiled(self) -> CompiledNetlist:
@@ -341,6 +390,31 @@ class FaultCampaign:
         if self._compiled is None:
             self._compiled = CompiledNetlist(self.structure.netlist)
         return self._compiled
+
+    # ------------------------------------------------------------------
+    # Fault-target validation
+    # ------------------------------------------------------------------
+    def validate_target_nets(self, nets: Iterable[str]) -> None:
+        """Raise :class:`ValueError` naming every net the netlist lacks.
+
+        A fault on a nonexistent net would be silently dropped by both
+        engines and counted as MASKED -- a typo'd ``--nets`` list would
+        report perfect security.
+        """
+        unknown = sorted(set(nets) - self._known_nets)
+        if unknown:
+            raise ValueError(
+                f"fault target nets not in netlist {self.structure.netlist.name!r}: "
+                + ", ".join(unknown)
+            )
+
+    def _validated_jobs(self, jobs: Iterable[InjectionJob]) -> Iterator[InjectionJob]:
+        """Pass jobs through, rejecting faults on nets the netlist lacks."""
+        known = self._known_nets
+        for index, faults in jobs:
+            if any(fault.net not in known for fault in faults):
+                self.validate_target_nets(fault.net for fault in faults)
+            yield index, faults
 
     # ------------------------------------------------------------------
     def run(self, scenario) -> CampaignResult:
@@ -351,11 +425,12 @@ class FaultCampaign:
             transitions_evaluated=len(self.contexts),
         )
         scenario.annotate(result, self)
+        jobs = self._validated_jobs(scenario.jobs(self))
         if self.engine == "scalar":
-            for index, faults in scenario.jobs(self):
+            for index, faults in jobs:
                 self._run_scalar(index, faults, result)
         else:
-            self._run_batched(scenario.jobs(self), result)
+            self._run_batched(jobs, result)
         return result
 
     def run_sweep(self, scenarios: Mapping[str, object]) -> Dict[str, CampaignResult]:
@@ -369,22 +444,50 @@ class FaultCampaign:
         edge, inputs = self.contexts[index]
         golden = self.hardened.state_encoding[edge.dst]
         observed = self.injector.next_code(edge, inputs, faults=faults)
-        self._classify_and_record(edge, faults, golden, observed, result)
+        self._classify_and_record(index, edge, faults, golden, observed, result)
 
     # ------------------------------------------------------------------
     # Bit-parallel path
     # ------------------------------------------------------------------
     def _run_batched(self, jobs: Iterable[InjectionJob], result: CampaignResult) -> None:
-        batch: List[Tuple[Fault, ...]] = []
-        batch_index: Optional[int] = None
-        for index, faults in jobs:
-            if batch_index is not None and (index != batch_index or len(batch) >= self.lane_width):
+        """Greedy lane-packing planner.
+
+        A pass holds at most ``lane_width + 1`` lanes: one golden lane per
+        distinct transition context in the batch plus one fault lane per job.
+        With ``pack_contexts`` (the default) jobs from different contexts
+        share a pass -- admitting a job costs one lane, or two when it brings
+        a context the batch has not seen yet; the batch is flushed when the
+        budget would overflow.  Without it every context change flushes, i.e.
+        the PR 1 one-context-per-pass behaviour.
+        """
+        if not self.pack_contexts:
+            batch: List[Tuple[Fault, ...]] = []
+            batch_index: Optional[int] = None
+            for index, faults in jobs:
+                if batch_index is not None and (
+                    index != batch_index or len(batch) >= self.lane_width
+                ):
+                    self._flush(batch_index, batch, result)
+                    batch = []
+                batch_index = index
+                batch.append(faults)
+            if batch_index is not None and batch:
                 self._flush(batch_index, batch, result)
-                batch = []
-            batch_index = index
-            batch.append(faults)
-        if batch_index is not None and batch:
-            self._flush(batch_index, batch, result)
+            return
+
+        budget = self.lane_width + 1
+        packed: List[InjectionJob] = []
+        packed_contexts: set = set()
+        for index, faults in jobs:
+            cost = 1 if index in packed_contexts else 2
+            if packed and len(packed) + len(packed_contexts) + cost > budget:
+                self._flush_packed(packed, result)
+                packed = []
+                packed_contexts = set()
+            packed.append((index, faults))
+            packed_contexts.add(index)
+        if packed:
+            self._flush_packed(packed, result)
 
     def _context_vectors(self, index: int) -> Tuple[Dict[str, int], Dict[str, int]]:
         encoded = self._encoded_inputs.get(index)
@@ -398,40 +501,126 @@ class FaultCampaign:
             }
         return encoded, self._registers[index]
 
+    def _context_ones(self, index: int) -> Tuple[List[str], List[str]]:
+        """The input/register nets that read 1 in one transition context."""
+        ones = self._ones.get(index)
+        if ones is None:
+            encoded, registers = self._context_vectors(index)
+            ones = (
+                [net for net, value in encoded.items() if value],
+                [net for net, value in registers.items() if value],
+            )
+            self._ones[index] = ones
+        return ones
+
+    def _state_d(self) -> List[int]:
+        """Dense net ids of the state-register D nets (resolved once)."""
+        if self._state_d_ids is None:
+            net_id = self.compiled.net_id
+            self._state_d_ids = [net_id[net] for net in self.structure.state_d]
+        return self._state_d_ids
+
+    def _check_golden(self, index: int, observed: int) -> int:
+        """Assert one golden lane against the analytic next-state code."""
+        edge, _ = self.contexts[index]
+        golden = self.hardened.state_encoding[edge.dst]
+        if observed != golden:
+            raise RuntimeError(
+                f"bit-parallel golden lane diverged on edge {edge.src}->{edge.dst}: "
+                f"expected {golden:#x}, simulated {observed:#x}"
+            )
+        return golden
+
     def _flush(
         self, index: int, fault_groups: List[Tuple[Fault, ...]], result: CampaignResult
     ) -> None:
+        """One-context pass: lane 0 golden, lanes 1.. one fault group each."""
         edge, _ = self.contexts[index]
         encoded, registers = self._context_vectors(index)
         lanes = [None] + [fault_set(group) for group in fault_groups]
-        values = self.compiled.evaluate(encoded, fault_lanes=lanes, registers=registers)
-        codes = values.read_words(self.structure.state_d)
-        golden = self.hardened.state_encoding[edge.dst]
-        if codes[0] != golden:
-            raise RuntimeError(
-                f"bit-parallel golden lane diverged on edge {edge.src}->{edge.dst}: "
-                f"expected {golden:#x}, simulated {codes[0]:#x}"
-            )
+        values = self.compiled.evaluate(
+            encoded, fault_lanes=lanes, registers=registers, use_source=self._use_source
+        )
+        codes = values.read_words_by_id(self._state_d())
+        golden = self._check_golden(index, codes[0])
         for faults, observed in zip(fault_groups, codes[1:]):
-            self._classify_and_record(edge, faults, golden, observed, result)
+            self._classify_and_record(index, edge, faults, golden, observed, result)
+
+    def _flush_packed(self, batch: List[InjectionJob], result: CampaignResult) -> None:
+        """Multi-context pass: goldens first, then one fault lane per job.
+
+        Inputs and registers are assembled as lane words -- the bit of every
+        lane carries that lane's own transition context -- so one evaluation
+        covers every (context, fault group) pair in the batch.
+        """
+        golden_lane: Dict[int, int] = {}
+        for index, _ in batch:
+            if index not in golden_lane:
+                golden_lane[index] = len(golden_lane)
+        # Per-context masks over all lanes using that context (golden + jobs).
+        context_mask: Dict[int, int] = {
+            index: 1 << lane for index, lane in golden_lane.items()
+        }
+        fault_lanes: List[Optional[FaultSet]] = [None] * len(golden_lane)
+        lane = len(golden_lane)
+        for index, faults in batch:
+            context_mask[index] |= 1 << lane
+            fault_lanes.append(fault_set(faults))
+            lane += 1
+
+        input_words: Dict[str, int] = {}
+        register_words: Dict[str, int] = {}
+        input_get = input_words.get
+        register_get = register_words.get
+        for index, mask in context_mask.items():
+            one_inputs, one_registers = self._context_ones(index)
+            for net in one_inputs:
+                input_words[net] = input_get(net, 0) | mask
+            for net in one_registers:
+                register_words[net] = register_get(net, 0) | mask
+
+        values = self.compiled.evaluate(
+            input_words,
+            fault_lanes=fault_lanes,
+            registers=register_words,
+            lane_words=True,
+            use_source=self._use_source,
+        )
+        codes = values.read_words_by_id(self._state_d())
+        goldens = {
+            index: self._check_golden(index, codes[lane])
+            for index, lane in golden_lane.items()
+        }
+        for lane, (index, faults) in enumerate(batch, start=len(golden_lane)):
+            edge, _ = self.contexts[index]
+            self._classify_and_record(index, edge, faults, goldens[index], codes[lane], result)
 
     # ------------------------------------------------------------------
     def _classify_and_record(
         self,
+        index: int,
         edge: CfgEdge,
         faults: Tuple[Fault, ...],
         golden: int,
         observed: int,
         result: CampaignResult,
     ) -> None:
-        observed_state = self.hardened.decode_state(observed)
-        classification = classify_observation(
-            golden,
-            observed,
-            observed_state,
-            error_states=self._error_states,
-            cfg_successors=self._successors.get(edge.src, frozenset()),
-        )
+        # Classification only depends on (context, observed code): memoise it
+        # so dense campaigns do not re-derive the same verdict per injection.
+        key = (index, observed)
+        cached = self._classify_cache.get(key)
+        if cached is None:
+            observed_state = self.hardened.decode_state(observed)
+            classification = classify_observation(
+                golden,
+                observed,
+                observed_state,
+                error_states=self._error_states,
+                cfg_successors=self._successors.get(edge.src, frozenset()),
+            )
+            self._classify_cache[key] = (classification, observed_state)
+        else:
+            classification, observed_state = cached
         if result.keep_outcomes:
             result.record(
                 FaultOutcome.of_faults(

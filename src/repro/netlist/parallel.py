@@ -9,21 +9,38 @@ to ``W`` *fault lanes* per pass using Python bignum bitwise operations:
 
 * every net holds a ``W``-bit integer whose bit ``k`` is the net's value in
   lane ``k``;
-* lane 0 is conventionally the fault-free golden lane;
+* lanes carrying no fault set are *golden* lanes; by convention campaigns put
+  at least one golden lane in every pass and assert it against the analytic
+  next state;
 * each lane carries its own :class:`~repro.netlist.simulate.FaultSet`,
   compiled into per-net flip/stuck mask words that are applied right after the
   driving op, exactly mirroring ``FaultSet.apply`` (stuck-at wins over flip).
 
-One pass over the op list therefore simulates one golden evaluation plus up to
-``W - 1`` faulty evaluations, which is where the 10-50x campaign speedups come
-from: the Python interpreter overhead per gate is paid once per *batch*
-instead of once per *injection*.  The scalar simulator remains available as a
-cross-check oracle (see ``tests/test_parallel_sim.py``).
+Inputs and registers may be supplied either as scalar 0/1 values broadcast to
+every lane (the common single-context case) or, with ``lane_words=True``, as
+ready-made ``W``-bit lane words so that different lanes can simulate
+*different transition contexts* in the same pass -- that is what lets the
+campaign layer pack few-nets/many-transitions sweeps densely into lanes.
+
+Two evaluators share the op list:
+
+* the interpreted loop dispatches on small int opcodes per op; and
+* :meth:`CompiledNetlist.compile_to_source` generates the straight-line Python
+  source of the whole op list (one function, ``exec``'d once and cached per
+  netlist), which removes the dispatch/loop overhead for another constant
+  factor -- selected with ``evaluate(..., use_source=True)`` and exposed as
+  ``engine="parallel-compiled"`` by the campaign layer.
+
+One pass over the op list simulates up to ``W`` evaluations, which is where
+the 10-50x campaign speedups come from: the Python interpreter overhead per
+gate is paid once per *batch* instead of once per *injection*.  The scalar
+simulator remains available as a cross-check oracle (see
+``tests/test_parallel_sim.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
@@ -54,6 +71,22 @@ _OPCODE = {
     GateType.XOR2: _OP_XOR2,
     GateType.XNOR2: _OP_XNOR2,
     GateType.MUX2: _OP_MUX2,
+}
+
+#: Straight-line source of one op, keyed by opcode (``{o}``/``{a}``/``{b}``/
+#: ``{s}`` are the dense net ids of output, operands and mux select).
+_OP_SOURCE = {
+    _OP_TIE0: "v{o} = 0",
+    _OP_TIE1: "v{o} = mask",
+    _OP_BUF: "v{o} = v{a}",
+    _OP_INV: "v{o} = v{a} ^ mask",
+    _OP_AND2: "v{o} = v{a} & v{b}",
+    _OP_NAND2: "v{o} = (v{a} & v{b}) ^ mask",
+    _OP_OR2: "v{o} = v{a} | v{b}",
+    _OP_NOR2: "v{o} = (v{a} | v{b}) ^ mask",
+    _OP_XOR2: "v{o} = v{a} ^ v{b}",
+    _OP_XNOR2: "v{o} = (v{a} ^ v{b}) ^ mask",
+    _OP_MUX2: "v{o} = v{a} ^ ((v{a} ^ v{b}) & v{s})",
 }
 
 
@@ -91,7 +124,11 @@ class LaneValues:
         lane words of e.g. the state-register D nets into one next-state code
         per lane.
         """
-        words = [self._words[self._net_id[bit]] for bit in bits]
+        return self.read_words_by_id([self._net_id[bit] for bit in bits])
+
+    def read_words_by_id(self, ids: Sequence[int]) -> List[int]:
+        """Like :meth:`read_words` but over pre-resolved dense net ids."""
+        words = [self._words[net_id] for net_id in ids]
         codes = []
         for lane in range(self.num_lanes):
             code = 0
@@ -139,34 +176,51 @@ class CompiledNetlist:
         self.flop_d_ids: List[Tuple[str, int]] = [
             (flop.output, intern(flop.inputs[0])) for flop in self._flops
         ]
+        self._d_id_of: Dict[str, int] = dict(self.flop_d_ids)
         self.num_nets = len(self.net_id)
+        self._source: Optional[str] = None
+        self._source_fn: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     # Fault-lane compilation
     # ------------------------------------------------------------------
     def _compile_faults(
-        self, fault_lanes: Sequence[FaultSet]
+        self, fault_lanes: Sequence[Optional[FaultSet]]
     ) -> Tuple[Dict[int, int], Dict[int, Tuple[int, int]]]:
-        """Per-net flip words and (stuck mask, stuck value) words over all lanes."""
+        """Per-net flip words and (stuck mask, stuck value) words over all lanes.
+
+        Raises :class:`ValueError` when a fault targets a net the netlist does
+        not contain -- silently skipping it would report the lane as fault-free
+        (and therefore MASKED) to the campaign layer.
+        """
         flips: Dict[int, int] = {}
         stuck: Dict[int, Tuple[int, int]] = {}
+        unknown: set = set()
         for lane, fault_set in enumerate(fault_lanes):
             if fault_set is None or fault_set.is_empty:
                 continue
             bit = 1 << lane
             for net in fault_set.flips:
                 net_id = self.net_id.get(net)
-                if net_id is not None:
-                    flips[net_id] = flips.get(net_id, 0) | bit
+                if net_id is None:
+                    unknown.add(net)
+                    continue
+                flips[net_id] = flips.get(net_id, 0) | bit
             for net, value in fault_set.stuck_at.items():
                 net_id = self.net_id.get(net)
                 if net_id is None:
+                    unknown.add(net)
                     continue
                 mask, val = stuck.get(net_id, (0, 0))
                 mask |= bit
                 if value & 1:
                     val |= bit
                 stuck[net_id] = (mask, val)
+        if unknown:
+            raise ValueError(
+                f"fault target nets not in netlist {self.netlist.name!r}: "
+                + ", ".join(sorted(unknown))
+            )
         # Stuck-at beats flip on the same net/lane, like FaultSet.apply.
         for net_id, (mask, _) in stuck.items():
             if net_id in flips:
@@ -176,6 +230,65 @@ class CompiledNetlist:
         return flips, stuck
 
     # ------------------------------------------------------------------
+    # Source compilation
+    # ------------------------------------------------------------------
+    def compile_to_source(self) -> str:
+        """The straight-line Python source of the op list.
+
+        The generated module defines one function ``_evaluate_ops(values,
+        mask, stuck, flips)`` that reads sourced input/register words from
+        ``values``, evaluates every op into a local variable (no dispatch, no
+        loop, no tuple indexing) with the per-net fault words applied in
+        place, and writes every op output back into ``values``.  The source is
+        deterministic and cached; :meth:`source_evaluator` ``exec``'s it once
+        per netlist.
+        """
+        if self._source is not None:
+            return self._source
+        lines = [
+            "def _evaluate_ops(values, mask, stuck, flips):",
+            "    stuck_get = stuck.get",
+            "    flips_get = flips.get",
+            "    faulted = True if stuck or flips else False",
+        ]
+        for _, net_id in self.input_ids:
+            lines.append(f"    v{net_id} = values[{net_id}]")
+        for _, net_id in self.register_ids:
+            lines.append(f"    v{net_id} = values[{net_id}]")
+        for op in self.ops:
+            code, out = op[0], op[1]
+            operands = {"o": out}
+            if len(op) > 2:
+                operands["a"] = op[2]
+            if len(op) > 3:
+                operands["b"] = op[3]
+            if len(op) > 4:
+                operands["s"] = op[4]
+            lines.append("    " + _OP_SOURCE[code].format(**operands))
+            lines.append("    if faulted:")
+            lines.append(f"        e = stuck_get({out})")
+            lines.append("        if e is not None:")
+            lines.append(f"            v{out} = (v{out} & ~e[0]) | e[1]")
+            lines.append(f"        f = flips_get({out})")
+            lines.append("        if f:")
+            lines.append(f"            v{out} ^= f")
+        for op in self.ops:
+            lines.append(f"    values[{op[1]}] = v{op[1]}")
+        self._source = "\n".join(lines) + "\n"
+        return self._source
+
+    def source_evaluator(self) -> Callable:
+        """The ``exec``'d (and per-netlist cached) form of :meth:`compile_to_source`."""
+        if self._source_fn is None:
+            namespace: Dict[str, object] = {}
+            code = compile(
+                self.compile_to_source(), f"<compiled netlist {self.netlist.name}>", "exec"
+            )
+            exec(code, {"__builtins__": {}}, namespace)
+            self._source_fn = namespace["_evaluate_ops"]
+        return self._source_fn
+
+    # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(
@@ -183,13 +296,19 @@ class CompiledNetlist:
         inputs: Mapping[str, int],
         fault_lanes: Sequence[Optional[FaultSet]] = (None,),
         registers: Optional[Mapping[str, int]] = None,
+        lane_words: bool = False,
+        use_source: bool = False,
     ) -> LaneValues:
         """Evaluate every lane in one pass over the op list.
 
-        ``inputs`` and ``registers`` are scalar 0/1 assignments broadcast to
-        every lane (missing inputs and registers default to zero); lane ``k``
-        additionally applies ``fault_lanes[k]``.  Returns :class:`LaneValues`
-        with ``len(fault_lanes)`` lanes.
+        By default ``inputs`` and ``registers`` are scalar 0/1 assignments
+        broadcast to every lane (missing inputs and registers default to
+        zero).  With ``lane_words=True`` they are instead ``W``-bit lane words
+        (bit ``k`` = the net's value in lane ``k``), which lets different
+        lanes evaluate different input/state contexts in the same pass.  Lane
+        ``k`` additionally applies ``fault_lanes[k]``.  ``use_source=True``
+        runs the source-compiled evaluator instead of the interpreted op loop.
+        Returns :class:`LaneValues` with ``len(fault_lanes)`` lanes.
         """
         num_lanes = len(fault_lanes)
         if num_lanes < 1:
@@ -200,8 +319,11 @@ class CompiledNetlist:
         values = [0] * self.num_nets
         registers = registers or {}
 
-        def source(net_id: int, scalar: int) -> None:
-            word = mask if scalar & 1 else 0
+        def source(net_id: int, value: int) -> None:
+            if lane_words:
+                word = int(value) & mask
+            else:
+                word = mask if value & 1 else 0
             entry = stuck.get(net_id)
             if entry is not None:
                 s_mask, s_val = entry
@@ -213,6 +335,10 @@ class CompiledNetlist:
             source(net_id, int(inputs.get(net, 0)))
         for net, net_id in self.register_ids:
             source(net_id, int(registers.get(net, 0)))
+
+        if use_source:
+            self.source_evaluator()(values, mask, stuck, flips)
+            return LaneValues(self.net_id, values, num_lanes)
 
         flips_get = flips.get
         stuck_get = stuck.get
@@ -260,12 +386,29 @@ class CompiledNetlist:
         q_bits: Sequence[str],
         fault_lanes: Sequence[Optional[FaultSet]] = (None,),
         registers: Optional[Mapping[str, int]] = None,
+        lane_words: bool = False,
+        use_source: bool = False,
     ) -> List[int]:
         """Per-lane next-state words the given flop bank would capture.
 
         ``q_bits`` selects an ordered (LSB first) subset of flip-flop outputs;
-        the returned integers assemble the corresponding D-net values.
+        the returned integers assemble the corresponding D-net values (from
+        the ``flop_d_ids`` precomputed at compile time).  Raises
+        :class:`ValueError` when a ``q_bits`` entry is not a flop output.
         """
-        d_net_of = {q: self.netlist.driver_of(q).inputs[0] for q in q_bits}
-        lanes = self.evaluate(inputs, fault_lanes=fault_lanes, registers=registers)
-        return lanes.read_words([d_net_of[q] for q in q_bits])
+        d_ids = []
+        for q_net in q_bits:
+            d_id = self._d_id_of.get(q_net)
+            if d_id is None:
+                raise ValueError(
+                    f"{q_net!r} is not a flip-flop output of netlist {self.netlist.name!r}"
+                )
+            d_ids.append(d_id)
+        lanes = self.evaluate(
+            inputs,
+            fault_lanes=fault_lanes,
+            registers=registers,
+            lane_words=lane_words,
+            use_source=use_source,
+        )
+        return lanes.read_words_by_id(d_ids)

@@ -143,6 +143,35 @@ class TestFaultCampaignCli:
         assert exit_code == 0
         assert "engines agree" in captured.out
 
+    def test_parallel_compiled_engine(self, capsys):
+        exit_code = fi_main(
+            ["--fsm", "traffic_light", "--mode", "regions", "--engine", "parallel-compiled"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "FT1_state" in captured.out
+
+    def test_parallel_compiled_compare_uses_scalar_oracle(self, capsys):
+        exit_code = fi_main(
+            [
+                "--fsm",
+                "traffic_light",
+                "--mode",
+                "exhaustive",
+                "--engine",
+                "parallel-compiled",
+                "--compare",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "engines agree (parallel-compiled vs scalar)" in captured.out
+
+    def test_engine_choice_listed_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            fi_main(["--help"])
+        assert "parallel-compiled" in capsys.readouterr().out
+
     def test_scalar_engine_and_comb_target(self, capsys):
         exit_code = fi_main(
             ["--fsm", "traffic_light", "--mode", "exhaustive", "--engine", "scalar", "--target", "comb"]

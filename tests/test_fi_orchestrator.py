@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.scfi import ScfiOptions, protect_fsm
 from repro.eval.security import structural_fault_target_sweep
 from repro.fi.model import Classification, Fault, FaultEffect, FaultOutcome
 from repro.fi.orchestrator import (
@@ -12,6 +13,9 @@ from repro.fi.orchestrator import (
     region_sweep_scenarios,
     scfi_fault_regions,
 )
+from repro.fsm.random_fsm import random_fsm
+
+ENGINES = ("parallel", "parallel-compiled", "scalar")
 
 
 class TestFaultCampaignExecutor:
@@ -57,6 +61,68 @@ class TestFaultCampaignExecutor:
         )
         assert results["a"].counters() == results["b"].counters()
 
+    def test_parallel_compiled_engine_matches_oracle(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        scenario = ExhaustiveSingleFault(target_nets="comb")
+        compiled = FaultCampaign(structure, engine="parallel-compiled").run(scenario)
+        scalar = FaultCampaign(structure, engine="scalar").run(scenario)
+        assert compiled.counters() == scalar.counters()
+
+    def test_context_packing_toggle_preserves_counters(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        for engine in ("parallel", "parallel-compiled"):
+            packed = FaultCampaign(structure, engine=engine).run(
+                ExhaustiveSingleFault(target_nets="comb")
+            )
+            per_context = FaultCampaign(structure, engine=engine, pack_contexts=False).run(
+                ExhaustiveSingleFault(target_nets="comb")
+            )
+            assert packed.counters() == per_context.counters()
+            assert packed.total_injections == per_context.total_injections
+
+    def test_packed_outcomes_identical_to_scalar(self, protected_traffic_light):
+        """Context packing must keep per-outcome order, not just counters."""
+        structure = protected_traffic_light.structure
+        scenario = ExhaustiveSingleFault(target_nets="comb")
+        packed = FaultCampaign(structure, keep_outcomes=True, lane_width=7).run(scenario)
+        scalar = FaultCampaign(structure, engine="scalar", keep_outcomes=True).run(scenario)
+        assert packed.outcomes == scalar.outcomes
+
+
+class TestFaultTargetValidation:
+    """Campaigns naming nonexistent nets must fail loudly on every engine."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_exhaustive_unknown_net_raises(self, protected_traffic_light, engine):
+        campaign = FaultCampaign(protected_traffic_light.structure, engine=engine)
+        with pytest.raises(ValueError, match="no_such_net"):
+            campaign.run(ExhaustiveSingleFault(target_nets=["no_such_net"]))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_random_unknown_net_raises(self, protected_traffic_light, engine):
+        campaign = FaultCampaign(protected_traffic_light.structure, engine=engine)
+        with pytest.raises(ValueError, match="typo_net"):
+            campaign.run(RandomMultiFault(num_faults=1, trials=5, target_nets=["typo_net"]))
+
+    def test_mixed_known_and_unknown_nets_raise(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        real = campaign.injector.diffusion_nets()[0]
+        with pytest.raises(ValueError) as excinfo:
+            campaign.run(ExhaustiveSingleFault(target_nets=[real, "bogus_a", "bogus_b"]))
+        message = str(excinfo.value)
+        assert "bogus_a" in message and "bogus_b" in message
+        assert real not in message
+
+    def test_unknown_string_alias_raises(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        with pytest.raises(ValueError, match="alias"):
+            campaign.run(ExhaustiveSingleFault(target_nets="difusion"))
+
+    def test_validate_target_nets_accepts_known(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        campaign.validate_target_nets(campaign.injector.diffusion_nets())
+        campaign.validate_target_nets(protected_traffic_light.structure.state_q)
+
 
 class TestScenarios:
     def test_exhaustive_target_aliases(self, protected_traffic_light):
@@ -78,6 +144,14 @@ class TestScenarios:
         campaign = FaultCampaign(protected_traffic_light.structure)
         with pytest.raises(ValueError):
             campaign.run(RandomMultiFault(num_faults=0, trials=5))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_random_multi_fault_rejects_truncating_draw(self, protected_traffic_light, engine):
+        """num_faults > available nets used to silently weaken the campaign."""
+        campaign = FaultCampaign(protected_traffic_light.structure, engine=engine)
+        targets = campaign.injector.diffusion_nets()[:2]
+        with pytest.raises(ValueError, match="exceeds"):
+            campaign.run(RandomMultiFault(num_faults=3, trials=5, target_nets=targets))
 
     def test_random_multi_fault_effect_axis(self, protected_traffic_light):
         campaign = FaultCampaign(protected_traffic_light.structure, keep_outcomes=True)
@@ -148,6 +222,58 @@ class TestRegionSweeps:
         scalar = structural_fault_target_sweep(structure, engine="scalar")
         for name in parallel:
             assert parallel[name].counters() == scalar[name].counters()
+
+
+class TestRandomFsmEngineEquivalence:
+    """Property style: all three engines agree counter-for-counter on random FSMs.
+
+    The narrow lane widths force the packing planner across context
+    boundaries mid-batch, which is where golden-lane bookkeeping bugs would
+    show up as counter drift against the scalar oracle.
+    """
+
+    @pytest.mark.parametrize("seed", [3, 17, 29])
+    def test_exhaustive_counters_agree(self, seed):
+        fsm = random_fsm(seed, num_states=5)
+        structure = protect_fsm(
+            fsm, ScfiOptions(protection_level=2, generate_verilog=False)
+        ).structure
+        scenario = ExhaustiveSingleFault(target_nets="comb")
+        results = {
+            engine: FaultCampaign(structure, engine=engine).run(scenario)
+            for engine in ENGINES
+        }
+        reference = results["scalar"]
+        for engine in ("parallel", "parallel-compiled"):
+            assert results[engine].counters() == reference.counters(), engine
+            assert results[engine].total_injections == reference.total_injections
+
+    @pytest.mark.parametrize("lane_width", [1, 2, 5, 64])
+    def test_counters_stable_across_lane_widths(self, lane_width):
+        fsm = random_fsm(41, num_states=4)
+        structure = protect_fsm(
+            fsm, ScfiOptions(protection_level=2, generate_verilog=False)
+        ).structure
+        scenario = ExhaustiveSingleFault(target_nets="comb")
+        wide = FaultCampaign(structure, engine="parallel-compiled").run(scenario)
+        narrow = FaultCampaign(
+            structure, engine="parallel-compiled", lane_width=lane_width
+        ).run(scenario)
+        assert wide.counters() == narrow.counters()
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_random_multi_fault_counters_agree(self, seed):
+        fsm = random_fsm(seed + 100, num_states=5)
+        structure = protect_fsm(
+            fsm, ScfiOptions(protection_level=2, generate_verilog=False)
+        ).structure
+        results = [
+            FaultCampaign(structure, engine=engine, lane_width=9).run(
+                RandomMultiFault(num_faults=2, trials=60, seed=seed)
+            )
+            for engine in ENGINES
+        ]
+        assert results[0].counters() == results[1].counters() == results[2].counters()
 
 
 class TestFaultOutcomeModel:

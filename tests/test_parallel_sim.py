@@ -2,10 +2,12 @@
 
 Hypothesis-style: seeded random netlists (random DAGs over every supported
 cell type, with flip-flop feedback) and random per-lane fault sets are thrown
-at both engines, and every net of every lane must match the scalar
-``NetlistSimulator`` evaluation with the same ``FaultSet``.  A regression
-block pins the ``ibex_lsu_fsm`` campaign counters to the values produced by
-the pre-refactor scalar implementation.
+at the interpreted and the source-compiled bit-parallel evaluators -- with
+scalar-broadcast and with per-lane lane-word inputs -- and every net of every
+lane must match the scalar ``NetlistSimulator`` evaluation with the same
+``FaultSet``.  A regression block pins the ``ibex_lsu_fsm`` campaign counters
+to the values produced by the pre-refactor scalar implementation on all three
+campaign engines.
 """
 
 from __future__ import annotations
@@ -70,8 +72,9 @@ def random_fault_set(rng: random.Random, nets) -> FaultSet:
 
 
 class TestRandomNetlistEquivalence:
+    @pytest.mark.parametrize("use_source", [False, True])
     @pytest.mark.parametrize("seed", range(25))
-    def test_all_nets_match_lane_for_lane(self, seed):
+    def test_all_nets_match_lane_for_lane(self, seed, use_source):
         rng = random.Random(seed)
         netlist = random_netlist(rng, f"rand{seed}")
         simulator = NetlistSimulator(netlist)
@@ -82,7 +85,9 @@ class TestRandomNetlistEquivalence:
         registers = {net: rng.randint(0, 1) for net in simulator.registers}
         lanes = [None] + [random_fault_set(rng, targets) for _ in range(rng.randint(1, 33))]
 
-        lane_values = compiled.evaluate(inputs, fault_lanes=lanes, registers=registers)
+        lane_values = compiled.evaluate(
+            inputs, fault_lanes=lanes, registers=registers, use_source=use_source
+        )
         assert lane_values.num_lanes == len(lanes)
         for lane, fault_set in enumerate(lanes):
             reference = simulator.evaluate(
@@ -90,8 +95,55 @@ class TestRandomNetlistEquivalence:
             )
             assert lane_values.lane_values(lane) == reference
 
+    @pytest.mark.parametrize("use_source", [False, True])
+    @pytest.mark.parametrize("seed", range(40, 50))
+    def test_lane_word_inputs_evaluate_distinct_contexts(self, seed, use_source):
+        """With ``lane_words=True`` every lane may carry its own input/state."""
+        rng = random.Random(seed)
+        netlist = random_netlist(rng, f"randctx{seed}", min_flops=1)
+        simulator = NetlistSimulator(netlist)
+        compiled = CompiledNetlist(netlist)
+        targets = injectable_nets(netlist, include_inputs=True)
+
+        num_lanes = rng.randint(2, 40)
+        lanes = [
+            None if rng.random() < 0.3 else random_fault_set(rng, targets)
+            for _ in range(num_lanes)
+        ]
+        per_lane_inputs = [
+            {net: rng.randint(0, 1) for net in netlist.primary_inputs}
+            for _ in range(num_lanes)
+        ]
+        per_lane_registers = [
+            {net: rng.randint(0, 1) for net in simulator.registers}
+            for _ in range(num_lanes)
+        ]
+        input_words = {
+            net: sum(per_lane_inputs[k][net] << k for k in range(num_lanes))
+            for net in netlist.primary_inputs
+        }
+        register_words = {
+            net: sum(per_lane_registers[k][net] << k for k in range(num_lanes))
+            for net in simulator.registers
+        }
+        lane_values = compiled.evaluate(
+            input_words,
+            fault_lanes=lanes,
+            registers=register_words,
+            lane_words=True,
+            use_source=use_source,
+        )
+        for lane, fault_set in enumerate(lanes):
+            reference = simulator.evaluate(
+                per_lane_inputs[lane],
+                faults=fault_set or FaultSet(),
+                registers=per_lane_registers[lane],
+            )
+            assert lane_values.lane_values(lane) == reference
+
+    @pytest.mark.parametrize("use_source", [False, True])
     @pytest.mark.parametrize("seed", range(25, 35))
-    def test_next_register_codes_match(self, seed):
+    def test_next_register_codes_match(self, seed, use_source):
         rng = random.Random(seed)
         netlist = random_netlist(rng, f"randreg{seed}", min_flops=1)
         simulator = NetlistSimulator(netlist)
@@ -103,7 +155,7 @@ class TestRandomNetlistEquivalence:
         registers = {net: rng.randint(0, 1) for net in simulator.registers}
         lanes = [None] + [random_fault_set(rng, targets) for _ in range(8)]
         codes = compiled.next_register_codes(
-            inputs, q_bits, fault_lanes=lanes, registers=registers
+            inputs, q_bits, fault_lanes=lanes, registers=registers, use_source=use_source
         )
         for lane, fault_set in enumerate(lanes):
             next_values = simulator.next_register_values(
@@ -129,6 +181,74 @@ class TestRandomNetlistEquivalence:
         compiled = CompiledNetlist(netlist)
         with pytest.raises(ValueError):
             compiled.evaluate({"a": 1}, fault_lanes=[])
+
+
+def _buffer_netlist() -> Netlist:
+    netlist = Netlist("tiny")
+    a = netlist.add_input("a")
+    netlist.add_gate(Gate(name="g", gate_type=GateType.BUF, inputs=[a], output="y"))
+    netlist.add_gate(Gate(name="ff", gate_type=GateType.DFF, inputs=["y"], output="q"))
+    return netlist
+
+
+class TestFaultTargetValidation:
+    """Faults on nonexistent nets must raise, not silently report MASKED."""
+
+    def test_flip_on_unknown_net_raises(self):
+        compiled = CompiledNetlist(_buffer_netlist())
+        with pytest.raises(ValueError, match="no_such_net"):
+            compiled.evaluate({"a": 1}, fault_lanes=[None, FaultSet.single_flip("no_such_net")])
+
+    def test_stuck_on_unknown_net_raises(self):
+        compiled = CompiledNetlist(_buffer_netlist())
+        with pytest.raises(ValueError, match="missing"):
+            compiled.evaluate({"a": 1}, fault_lanes=[None, FaultSet.stuck("missing", 1)])
+
+    def test_error_names_every_unknown_net(self):
+        compiled = CompiledNetlist(_buffer_netlist())
+        bad = FaultSet(flips=frozenset(["ghost1"]), stuck_at={"ghost2": 0})
+        with pytest.raises(ValueError) as excinfo:
+            compiled.evaluate({"a": 1}, fault_lanes=[None, bad])
+        assert "ghost1" in str(excinfo.value)
+        assert "ghost2" in str(excinfo.value)
+
+
+class TestNextRegisterCodes:
+    def test_rejects_non_flop_net(self):
+        compiled = CompiledNetlist(_buffer_netlist())
+        with pytest.raises(ValueError, match="not a flip-flop output"):
+            compiled.next_register_codes({"a": 1}, ["y"])
+
+    def test_rejects_primary_input(self):
+        """A q net with no driver used to crash with AttributeError."""
+        compiled = CompiledNetlist(_buffer_netlist())
+        with pytest.raises(ValueError, match="not a flip-flop output"):
+            compiled.next_register_codes({"a": 1}, ["a"])
+
+    def test_uses_precomputed_d_ids(self):
+        compiled = CompiledNetlist(_buffer_netlist())
+        assert compiled.next_register_codes({"a": 1}, ["q"]) == [1]
+        assert compiled.next_register_codes({"a": 0}, ["q"]) == [0]
+
+
+class TestSourceCompilation:
+    def test_source_is_deterministic_and_cached(self):
+        compiled = CompiledNetlist(_buffer_netlist())
+        source = compiled.compile_to_source()
+        assert "def _evaluate_ops(" in source
+        assert compiled.compile_to_source() is source
+
+    def test_evaluator_is_cached_per_netlist(self):
+        compiled = CompiledNetlist(_buffer_netlist())
+        assert compiled.source_evaluator() is compiled.source_evaluator()
+
+    def test_source_covers_every_op(self):
+        rng = random.Random(7)
+        netlist = random_netlist(rng, "srccover")
+        compiled = CompiledNetlist(netlist)
+        source = compiled.compile_to_source()
+        for op in compiled.ops:
+            assert f"values[{op[1]}] = v{op[1]}" in source
 
 
 class TestProtectedNetlistEquivalence:
@@ -164,20 +284,32 @@ class TestIbexLsuRegression:
             ibex_lsu_fsm(), ScfiOptions(protection_level=2, generate_verilog=False)
         ).structure
 
-    def test_diffusion_counters_both_engines(self, ibex_structure):
+    def test_diffusion_counters_all_engines(self, ibex_structure):
         parallel = exhaustive_single_fault_campaign(ibex_structure)
+        compiled = exhaustive_single_fault_campaign(ibex_structure, engine="parallel-compiled")
         scalar = exhaustive_single_fault_campaign(ibex_structure, engine="scalar")
-        assert parallel.counters() == scalar.counters() == (0, 238, 0, 0)
+        assert parallel.counters() == compiled.counters() == scalar.counters() == (0, 238, 0, 0)
 
-    def test_comb_cloud_counters_both_engines(self, ibex_structure):
+    def test_comb_cloud_counters_all_engines(self, ibex_structure):
         parallel = exhaustive_single_fault_campaign(ibex_structure, target_nets="comb")
+        compiled = exhaustive_single_fault_campaign(
+            ibex_structure, target_nets="comb", engine="parallel-compiled"
+        )
         scalar = exhaustive_single_fault_campaign(ibex_structure, target_nets="comb", engine="scalar")
-        assert parallel.counters() == scalar.counters() == (1369, 1479, 74, 88)
+        assert (
+            parallel.counters()
+            == compiled.counters()
+            == scalar.counters()
+            == (1369, 1479, 74, 88)
+        )
 
     def test_random_campaign_counters_engine_independent(self, ibex_structure):
         parallel = random_multi_fault_campaign(ibex_structure, num_faults=2, trials=400, seed=11)
+        compiled = random_multi_fault_campaign(
+            ibex_structure, num_faults=2, trials=400, seed=11, engine="parallel-compiled"
+        )
         scalar = random_multi_fault_campaign(
             ibex_structure, num_faults=2, trials=400, seed=11, engine="scalar"
         )
-        assert parallel.counters() == scalar.counters()
+        assert parallel.counters() == compiled.counters() == scalar.counters()
         assert parallel.total_injections == 400
