@@ -1,25 +1,37 @@
 """Benchmark: bit-parallel vs scalar exhaustive campaigns.
 
-Two enforced floors:
+Three enforced floors:
 
 * the Section 6.4 exhaustive single-fault campaign over the **full
   combinational cloud** of the SCFI-protected ``ibex_lsu_fsm`` must run at
   least 10x faster on the bit-parallel engine than on the scalar
-  one-injection-at-a-time oracle (ISSUE 1 tentpole); and
+  one-injection-at-a-time oracle (ISSUE 1 tentpole);
 * the FT1 region sweep -- the **few nets x many transitions** shape -- must
   run at least 2x faster with context-batched lane packing than with the
   PR 1 one-context-per-pass batching (ISSUE 3 tentpole), with classification
-  counters identical to the scalar oracle on all three engines.
+  counters identical to the scalar oracle on all three engines; and
+* the process-sharded executor (``workers=4``) must run the all-effects
+  comb-cloud campaign at least 2x faster than single-process (ISSUE 4
+  tentpole), with bit-identical counters.  The timing assertion is skipped
+  on machines with fewer than two usable CPUs -- a process pool cannot beat
+  single-process on one core -- but the counter equality always runs.
+
+Shared CI runners are noisy, so every floor can be overridden per run via
+environment variables (``BENCH_MIN_SPEEDUP``,
+``BENCH_MIN_CONTEXT_PACKING_SPEEDUP``, ``BENCH_MIN_WORKERS_SPEEDUP``); the
+defaults below are the enforced values and CI pins them explicitly.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
 
 from repro.core.scfi import ScfiOptions, protect_fsm
 from repro.fi.campaign import exhaustive_single_fault_campaign
+from repro.fi.model import FaultEffect
 from repro.fi.orchestrator import (
     ExhaustiveSingleFault,
     FaultCampaign,
@@ -28,12 +40,42 @@ from repro.fi.orchestrator import (
 )
 from repro.fsmlib.opentitan import ibex_lsu_fsm
 
+
+def _env_floor(name: str, default: float) -> float:
+    """A speedup floor, overridable per run for loaded shared runners.
+
+    Empty values (easy to produce with YAML templating) fall back to the
+    default; malformed values fail naming the offending variable.
+    """
+    text = os.environ.get(name, "").strip()
+    if not text:
+        return default
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"environment override {name}={text!r} is not a number")
+
+
 #: Required tentpole speedup on the full comb cloud (acceptance criterion).
-MIN_SPEEDUP = 10.0
+MIN_SPEEDUP = _env_floor("BENCH_MIN_SPEEDUP", 10.0)
 
 #: Required speedup of context-batched over per-context lane packing on the
 #: few-nets/many-transitions FT1 sweep (ISSUE 3 acceptance criterion).
-MIN_CONTEXT_PACKING_SPEEDUP = 2.0
+MIN_CONTEXT_PACKING_SPEEDUP = _env_floor("BENCH_MIN_CONTEXT_PACKING_SPEEDUP", 2.0)
+
+#: Required speedup of workers=4 over single-process on the all-effects
+#: comb-cloud campaign (ISSUE 4 acceptance criterion).
+MIN_WORKERS_SPEEDUP = _env_floor("BENCH_MIN_WORKERS_SPEEDUP", 2.0)
+
+#: Worker processes of the sharded benchmark case.
+BENCH_WORKERS = 4
+
+
+def _usable_cpus() -> int:
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        return len(affinity(0))
+    return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="module")
@@ -115,6 +157,60 @@ def test_bench_context_batched_ft1_sweep(benchmark, once, ibex_structure):
         assert results[name].counters() == oracle, f"{name} disagrees with the scalar oracle"
     assert speedup >= MIN_CONTEXT_PACKING_SPEEDUP, (
         f"context-batched packing speedup {speedup:.1f}x below {MIN_CONTEXT_PACKING_SPEEDUP}x"
+    )
+
+
+def test_bench_process_sharded_comb_cloud(benchmark, once, ibex_structure):
+    """Process sharding must beat single-process 2x at 4 workers (multi-core).
+
+    The workload is the exhaustive comb-cloud campaign over all three fault
+    effects (3 x 3010 injections) -- the acceptance shape of ISSUE 4.  The
+    first sharded run builds the pool and per-worker compiled netlists; like
+    the compiled-netlist cache of the single-process path that one-time cost
+    is excluded by warming both campaigns before the best-of timing loop.
+    Counter equality between workers=1 and workers=4 is asserted on every
+    machine; the timing floor only on machines with >= 2 usable CPUs.
+    """
+    scenario = ExhaustiveSingleFault(
+        target_nets="comb",
+        effects=(FaultEffect.TRANSIENT_FLIP, FaultEffect.STUCK_AT_0, FaultEffect.STUCK_AT_1),
+    )
+    single = FaultCampaign(ibex_structure)
+    with FaultCampaign(ibex_structure, workers=BENCH_WORKERS) as sharded:
+        single_result = single.run(scenario)  # warm compiled netlist + contexts
+        sharded_result = sharded.run(scenario)  # warm pool + worker netlists
+        assert sharded_result.counters() == single_result.counters(), (
+            "sharded counters diverge from single-process"
+        )
+        assert sharded_result.total_injections == single_result.total_injections
+        assert sharded_result.transitions_evaluated == single_result.transitions_evaluated
+
+        # Counter equality above runs everywhere; don't burn ten full
+        # campaign runs timing a pool that one core cannot speed up.
+        cpus = _usable_cpus()
+        if cpus < 2:
+            pytest.skip(f"timing floor needs >= 2 usable CPUs, found {cpus} (counters verified)")
+
+        def best_of(campaign, reps):
+            best = float("inf")
+            for _ in range(reps):
+                start = time.perf_counter()
+                campaign.run(scenario)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        single_seconds = best_of(single, reps=5)
+        once(benchmark, sharded.run, scenario)
+        sharded_seconds = best_of(sharded, reps=5)
+
+    speedup = single_seconds / max(sharded_seconds, 1e-9)
+    print()
+    print(f"  single-process:      {single_seconds * 1e3:7.2f} ms  {single_result.format()}")
+    print(f"  {BENCH_WORKERS} workers:           {sharded_seconds * 1e3:7.2f} ms")
+    print(f"  sharding speedup: {speedup:.1f}x at {BENCH_WORKERS} workers")
+
+    assert speedup >= MIN_WORKERS_SPEEDUP, (
+        f"process-sharded speedup {speedup:.1f}x below {MIN_WORKERS_SPEEDUP}x"
     )
 
 

@@ -5,7 +5,9 @@ All gate-level modes execute on the unified campaign layer
 ``--engine parallel-compiled`` runs the same lane batches on the
 source-compiled evaluator, ``--engine scalar`` replays on the reference
 simulator and ``--compare`` additionally runs the cross-check engine and
-asserts the classification counters match lane for lane.
+asserts the classification counters match lane for lane.  ``--workers N``
+dispatches the planned batches to a process pool (one compiled netlist per
+worker); the merged counters are bit-identical to a single-process run.
 
 Modes:
 
@@ -39,6 +41,18 @@ from repro.fi.orchestrator import (
 _EFFECTS = {effect.value: effect for effect in FaultEffect}
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for >= 1 integer flags (``--workers``): clean CLI errors
+    instead of deep ``ValueError`` tracebacks from the orchestrator."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description="Fault-injection campaigns on SCFI-protected FSMs")
     parser.add_argument("--fsm", choices=sorted(FSM_REGISTRY), default="formal_fsm")
@@ -69,11 +83,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["parallel", "parallel-compiled", "scalar"],
+        # Single source of truth: an engine the orchestrator does not know
+        # must die here as an argparse error, not as a deep ValueError.
+        choices=list(FaultCampaign.ENGINES),
         default="parallel",
         help="bit-parallel lane engine (default), the same lanes on the "
         "source-compiled evaluator (netlist exec'd as generated Python, "
         "fastest), or the scalar reference simulator",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for campaign execution: planned batches are "
+        "dispatched to a process pool and merged deterministically (default "
+        "1 = in-process)",
     )
     parser.add_argument(
         "--lane-width",
@@ -128,6 +152,7 @@ def main(argv=None) -> int:
         for flag, given in (
             ("--compare", args.compare),
             ("--engine", args.engine != "parallel"),
+            ("--workers", args.workers != 1),
             ("--target", args.target is not None),
             ("--effects", args.effects is not None),
         ):
@@ -148,12 +173,16 @@ def main(argv=None) -> int:
         return 0
 
     scenarios = _scenarios(args, result.structure)
-    executor = FaultCampaign(result.structure, engine=args.engine, lane_width=args.lane_width)
-    results = executor.run_sweep(scenarios)
+    with FaultCampaign(
+        result.structure, engine=args.engine, lane_width=args.lane_width, workers=args.workers
+    ) as executor:
+        results = executor.run_sweep(scenarios)
     for name, campaign in results.items():
         prefix = f"{name:<15} " if len(results) > 1 else ""
         print(f"{prefix}{campaign.format()}")
     if args.compare:
+        # The oracle always runs single-process, so --compare from a sharded
+        # run cross-checks the sharded merge as well as the engine.
         other_engine = "parallel" if args.engine == "scalar" else "scalar"
         oracle = FaultCampaign(result.structure, engine=other_engine, lane_width=args.lane_width)
         for name, reference in oracle.run_sweep(scenarios).items():

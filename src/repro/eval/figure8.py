@@ -146,20 +146,22 @@ def run_figure8(
     configurations: Sequence[str] = ("base", "redundancy", "scfi"),
     library: Optional[CellLibrary] = None,
     verify_security: bool = False,
+    workers: int = 1,
 ) -> Figure8Result:
     """Sweep the clock period for every configuration and record area/timing.
 
     With ``verify_security`` the SCFI configuration additionally runs an
     exhaustive diffusion-layer campaign on the bit-parallel engine before the
-    timing sweep (stored in :attr:`Figure8Result.security_checks`).
+    timing sweep (stored in :attr:`Figure8Result.security_checks`);
+    ``workers=N`` shards that campaign across a process pool.
     """
     library = library or DEFAULT_LIBRARY
     result = Figure8Result()
     for configuration in configurations:
         netlist, structure = _module_netlist(model, configuration, protection_level, library)
         if verify_security and structure is not None:
-            campaign = FaultCampaign(structure)
-            result.security_checks[configuration] = campaign.run(ExhaustiveSingleFault())
+            with FaultCampaign(structure, workers=workers) as campaign:
+                result.security_checks[configuration] = campaign.run(ExhaustiveSingleFault())
         for period in clock_periods_ps:
             sized = size_for_period(netlist, float(period), library)
             result.points.append(

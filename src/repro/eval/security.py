@@ -104,6 +104,7 @@ def structural_fault_target_sweep(
     effects: Sequence[FaultEffect] = (FaultEffect.TRANSIENT_FLIP,),
     engine: str = "parallel",
     lane_width: int = DEFAULT_LANE_WIDTH,
+    workers: int = 1,
 ) -> Dict[str, CampaignResult]:
     """Gate-level companion of :func:`fault_target_sweep` (Section 6.4 style).
 
@@ -114,10 +115,13 @@ def structural_fault_target_sweep(
     the context-batched lane packing was built for: every pass mixes
     transition contexts, so ``engine="parallel"`` (or ``"parallel-compiled"``)
     fills its ``lane_width`` budget instead of paying one pass per edge;
-    ``engine="scalar"`` remains the cross-check oracle.
+    ``engine="scalar"`` remains the cross-check oracle.  ``workers=N``
+    dispatches the planned batches of every region to a process pool (shared
+    across the regions of the sweep); counters are bit-identical to the
+    single-process run.
     """
-    campaign = FaultCampaign(structure, engine=engine, lane_width=lane_width)
-    return campaign.run_sweep(region_sweep_scenarios(structure, effects=effects))
+    with FaultCampaign(structure, engine=engine, lane_width=lane_width, workers=workers) as campaign:
+        return campaign.run_sweep(region_sweep_scenarios(structure, effects=effects))
 
 
 def fault_target_sweep(

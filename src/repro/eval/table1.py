@@ -131,6 +131,7 @@ def run_table1(
     library: Optional[CellLibrary] = None,
     scfi_error_bits: int = 3,
     verify_security: bool = False,
+    workers: int = 1,
 ) -> Table1Result:
     """Synthesise every configuration of Table 1 and collect the overheads.
 
@@ -141,7 +142,8 @@ def run_table1(
     With ``verify_security`` every SCFI configuration additionally runs an
     exhaustive single-fault campaign over its diffusion layer on the
     bit-parallel engine, so the area table is backed by a zero-hijack check
-    (results land in :attr:`Table1Row.scfi_security`).
+    (results land in :attr:`Table1Row.scfi_security`); ``workers=N`` shards
+    each of those campaigns across a process pool.
     """
     library = library or DEFAULT_LIBRARY
     rows: List[Table1Row] = []
@@ -171,7 +173,7 @@ def run_table1(
             row.scfi_fsm_ge[level] = scfi_ge
             row.scfi_overhead[level] = 100.0 * (scfi_ge - unprotected_ge) / model.module_area_ge
             if verify_security:
-                campaign = FaultCampaign(scfi.structure)
-                row.scfi_security[level] = campaign.run(ExhaustiveSingleFault())
+                with FaultCampaign(scfi.structure, workers=workers) as campaign:
+                    row.scfi_security[level] = campaign.run(ExhaustiveSingleFault())
         rows.append(row)
     return Table1Result(rows=rows, protection_levels=list(protection_levels))

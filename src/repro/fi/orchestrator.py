@@ -28,6 +28,23 @@ paying one mostly-empty pass per transition.  Classification counters are
 engine-independent by construction; ``tests/test_fi_orchestrator.py`` and
 ``benchmarks/bench_parallel_sim.py`` assert it.
 
+Campaign execution is split into an explicit *plan* phase and an *execute*
+phase.  Planning turns a scenario's job stream into a :class:`CampaignPlan`
+-- a list of self-contained :class:`PlannedBatch` entries carrying the lane
+assignment and the pre-assembled per-context input/register lane words --
+and depends only on the *shape* of the jobs (the sequence of transition
+contexts they touch), so plans are cached on the campaign and reused across
+:meth:`FaultCampaign.run_sweep` scenarios with the same shape (e.g. the
+per-effect sweeps, which differ only in the injected effect).  Execution
+binds the per-job fault groups to the planned lanes and either runs every
+batch in-process (``workers=1``, the default) or dispatches batches to a
+``multiprocessing`` pool (``workers=N``): each worker process builds its own
+:class:`~repro.netlist.parallel.CompiledNetlist` once from the netlist
+(compiling to source where ``engine="parallel-compiled"`` selects it) and
+returns raw per-lane classifications that the parent merges back in
+deterministic job order, so counters -- and kept outcomes -- are bit-identical
+to single-process runs on every engine.
+
 Fault targets are validated up front: a scenario naming a net the netlist
 does not contain raises :class:`ValueError` (on every engine) instead of
 silently reporting the fault as masked.
@@ -39,6 +56,7 @@ this layer, as are the structural sweeps in :mod:`repro.eval.security` and the
 
 from __future__ import annotations
 
+import multiprocessing
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -60,6 +78,16 @@ from repro.netlist.simulate import FaultSet
 #: Fault groups packed into one bit-parallel pass (plus the golden lane 0).
 DEFAULT_LANE_WIDTH = 256
 
+#: Plans retained per campaign (LRU): bounds memory for long-lived campaigns
+#: that run many differently-shaped scenarios (e.g. varying random seeds).
+#: Entries are also bounded by total cached *jobs* (keys and lane words are
+#: O(num_jobs) each), so a few huge scenarios cannot pin gigabytes.
+PLAN_CACHE_LIMIT = 32
+
+#: Total jobs across all cached plans; a single plan larger than this is
+#: returned uncached.
+PLAN_CACHE_MAX_JOBS = 1_000_000
+
 #: A job: (context index, faults injected together during that transition).
 InjectionJob = Tuple[int, Tuple[Fault, ...]]
 
@@ -71,6 +99,10 @@ class CampaignResult:
     ``redirected`` counts undetected within-CFG deviations (the Section 7
     limitation); ``hijacked`` counts undetected deviations onto states that
     are not CFG successors of the faulted transition's source.
+    ``transitions_evaluated`` counts the *distinct* transition contexts the
+    scenario's jobs actually touched -- not the number of reachable CFG
+    edges -- so per-transition rates stay meaningful for scenarios that
+    restrict themselves to a context subset.
     """
 
     name: str
@@ -86,15 +118,19 @@ class CampaignResult:
 
     def tally(self, classification: Classification) -> None:
         """Bump the counter for one classified injection."""
-        self.total_injections += 1
+        self.tally_bulk(classification, 1)
+
+    def tally_bulk(self, classification: Classification, count: int) -> None:
+        """Bump the counter for ``count`` identically classified injections."""
+        self.total_injections += count
         if classification is Classification.MASKED:
-            self.masked += 1
+            self.masked += count
         elif classification is Classification.DETECTED:
-            self.detected += 1
+            self.detected += count
         elif classification is Classification.REDIRECTED:
-            self.redirected += 1
+            self.redirected += count
         else:
-            self.hijacked += 1
+            self.hijacked += count
 
     def record(self, outcome: FaultOutcome) -> None:
         self.tally(outcome.classification)
@@ -326,6 +362,158 @@ def region_sweep_scenarios(
 
 
 # ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlannedBatch:
+    """One self-contained unit of bit-parallel work.
+
+    ``[start, stop)`` slices the campaign's materialised job list; the lanes
+    of the pass are ``golden_contexts`` first (one golden lane per distinct
+    transition context, in first-appearance order) followed by one fault lane
+    per job.  ``input_words``/``register_words`` are the pre-assembled lane
+    words over all lanes of the pass; ``None`` marks a single-context batch
+    (``pack_contexts=False``) whose context vectors are broadcast to every
+    lane at evaluation time instead.
+    """
+
+    start: int
+    stop: int
+    golden_contexts: Tuple[int, ...]
+    input_words: Optional[Dict[str, int]] = None
+    register_words: Optional[Dict[str, int]] = None
+
+    @property
+    def num_jobs(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The planned batches of one job stream.
+
+    A plan depends only on the *shape* of the jobs -- the sequence of
+    transition-context indices -- never on the injected faults, so one plan
+    serves every scenario with the same shape (the cross-scenario cache in
+    :class:`FaultCampaign` exploits exactly that).
+    """
+
+    batches: Tuple[PlannedBatch, ...]
+    num_jobs: int
+
+
+#: Per-job evaluation result: (classification, observed code, observed state).
+_JobRow = Tuple[Classification, int, Optional[str]]
+
+#: Classification by wire index (workers ship the index, not the enum --
+#: pickling 10k enum members costs more than the netlist evaluation).
+_CLASSIFICATIONS = tuple(Classification)
+_CLASSIFICATION_INDEX = {cls: i for i, cls in enumerate(_CLASSIFICATIONS)}
+
+#: Wire format of one fault group: ((net, effect value), ...).
+_FaultSpec = Tuple[Tuple[str, str], ...]
+#: Wire format of one job: (context index, fault group spec).
+_JobSpec = Tuple[int, _FaultSpec]
+#: Worker batch reply: per-classification counters in ``_CLASSIFICATIONS``
+#: order plus, with keep_outcomes, per-job (classification index, observed
+#: code, observed state) rows.  Both sides index via ``_CLASSIFICATIONS``, so
+#: the format survives enum reordering or extension.
+_BatchReply = Tuple[Tuple[int, ...], Optional[List[Tuple[int, int, Optional[str]]]]]
+
+_FLIP = FaultEffect.TRANSIENT_FLIP.value
+_STUCK0 = FaultEffect.STUCK_AT_0.value
+
+#: Worker-process campaign state, built once per process by the pool
+#: initializer (each worker compiles its own bit-parallel netlist).
+_WORKER_CAMPAIGN: Optional["FaultCampaign"] = None
+
+
+def _job_specs(jobs: Sequence[InjectionJob]) -> List[_JobSpec]:
+    """Lower jobs to the compact wire format shipped to pool workers."""
+    return [
+        (index, tuple((fault.net, fault.effect._value_) for fault in faults))
+        for index, faults in jobs
+    ]
+
+
+def _spec_fault_set(spec: _FaultSpec) -> FaultSet:
+    """Rebuild the net-level overrides of one wire-format fault group."""
+    flips = []
+    stuck: Dict[str, int] = {}
+    for net, effect in spec:
+        if effect == _FLIP:
+            flips.append(net)
+        else:
+            stuck[net] = 0 if effect == _STUCK0 else 1
+    return FaultSet(flips=frozenset(flips), stuck_at=stuck)
+
+
+def _worker_init(
+    structure: ScfiNetlist,
+    engine: str,
+    lane_width: int,
+    pack_contexts: bool,
+    keep_outcomes: bool,
+) -> None:
+    """Pool initializer: build this worker's campaign executor exactly once."""
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = FaultCampaign(
+        structure,
+        engine=engine,
+        lane_width=lane_width,
+        keep_outcomes=keep_outcomes,
+        pack_contexts=pack_contexts,
+    )
+    if engine != "scalar":
+        compiled = _WORKER_CAMPAIGN.compiled  # compile the op list up front
+        if engine == "parallel-compiled":
+            compiled.source_evaluator()
+
+
+def _reply_from_rows(campaign: "FaultCampaign", rows: List[_JobRow]) -> _BatchReply:
+    """Aggregate worker rows into counters (plus rows when outcomes are kept)."""
+    counters = [0] * len(_CLASSIFICATIONS)
+    for classification, _, _ in rows:
+        counters[_CLASSIFICATION_INDEX[classification]] += 1
+    if not campaign.keep_outcomes:
+        return tuple(counters), None
+    return (
+        tuple(counters),
+        [
+            (_CLASSIFICATION_INDEX[classification], observed, observed_state)
+            for classification, observed, observed_state in rows
+        ],
+    )
+
+
+def _worker_run_batch(task: Tuple[PlannedBatch, List[_JobSpec]]) -> _BatchReply:
+    """Evaluate one planned batch in a worker process."""
+    batch, specs = task
+    campaign = _WORKER_CAMPAIGN
+    fault_lanes: List[Optional[FaultSet]] = [None] * len(batch.golden_contexts)
+    fault_lanes.extend(_spec_fault_set(spec) for _, spec in specs)
+    codes, goldens = campaign._evaluate_batch_codes(batch, fault_lanes)
+    rows: List[_JobRow] = []
+    for lane, (index, _) in enumerate(specs, start=len(batch.golden_contexts)):
+        classification, observed_state = campaign._classify(index, goldens[index], codes[lane])
+        rows.append((classification, codes[lane], observed_state))
+    return _reply_from_rows(campaign, rows)
+
+
+def _worker_run_scalar(specs: List[_JobSpec]) -> _BatchReply:
+    """Replay one job chunk on the worker's scalar reference injector."""
+    campaign = _WORKER_CAMPAIGN
+    jobs = [
+        (
+            index,
+            tuple(Fault(net=net, effect=FaultEffect(effect)) for net, effect in spec),
+        )
+        for index, spec in specs
+    ]
+    return _reply_from_rows(campaign, campaign._evaluate_scalar(jobs))
+
+
+# ----------------------------------------------------------------------
 # Executor
 # ----------------------------------------------------------------------
 class FaultCampaign:
@@ -344,6 +532,14 @@ class FaultCampaign:
     analytic next-state code) so that campaigns over few nets but many
     transitions still fill the lane budget; ``pack_contexts=False`` restores
     the one-context-per-pass batching for comparison benchmarks.
+
+    ``workers=N`` (default 1) dispatches the planned batches to a process
+    pool: every worker builds its own compiled netlist once and streams raw
+    per-lane classifications back to the parent, which merges them in job
+    order -- counters and outcomes are bit-identical to ``workers=1`` on
+    every engine.  The pool is created lazily on first use and reused across
+    :meth:`run`/:meth:`run_sweep` calls; call :meth:`close` (or use the
+    campaign as a context manager) to release it.
     """
 
     ENGINES = ("parallel", "parallel-compiled", "scalar")
@@ -355,17 +551,21 @@ class FaultCampaign:
         lane_width: int = DEFAULT_LANE_WIDTH,
         keep_outcomes: bool = False,
         pack_contexts: bool = True,
+        workers: int = 1,
     ):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r} (choose from {self.ENGINES})")
         if lane_width < 1:
             raise ValueError("lane_width must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.structure = structure
         self.hardened = structure.hardened
         self.engine = engine
         self.lane_width = lane_width
         self.keep_outcomes = keep_outcomes
         self.pack_contexts = pack_contexts
+        self.workers = workers
         self.injector = ScfiFaultInjector(structure)
         self._use_source = engine == "parallel-compiled"
         self._successors = cfg_successor_map(self.hardened.fsm)
@@ -383,6 +583,57 @@ class FaultCampaign:
         self._ones: Dict[int, Tuple[List[str], List[str]]] = {}
         # Classification is a pure function of (context, observed code).
         self._classify_cache: Dict[Tuple[int, int], Tuple[Classification, Optional[str]]] = {}
+        # Plans keyed by job shape; contexts are fixed per campaign instance.
+        self._plan_cache: Dict[Tuple, CampaignPlan] = {}
+        self._plan_cache_jobs = 0
+        self.plan_cache_hits = 0
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Process-pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """The lazily created worker pool (``fork`` start method where available).
+
+        ``fork`` lets workers inherit the netlist instead of re-importing and
+        unpickling it; on platforms without it the default start method is
+        used and the initializer arguments travel by pickle (which
+        :class:`~repro.netlist.parallel.CompiledNetlist` supports).
+        """
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context("fork" if "fork" in methods else None)
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(
+                    self.structure,
+                    self.engine,
+                    self.lane_width,
+                    self.pack_contexts,
+                    self.keep_outcomes,
+                ),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (no-op for ``workers=1`` / unused pools)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "FaultCampaign":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
 
     @property
     def compiled(self) -> CompiledNetlist:
@@ -418,76 +669,205 @@ class FaultCampaign:
 
     # ------------------------------------------------------------------
     def run(self, scenario) -> CampaignResult:
-        """Execute one scenario and return its aggregated result."""
+        """Execute one scenario: materialise jobs, plan, execute, merge."""
         result = CampaignResult(
             name=f"{scenario.describe()} ({self.structure.netlist.name})",
             keep_outcomes=self.keep_outcomes,
-            transitions_evaluated=len(self.contexts),
         )
         scenario.annotate(result, self)
-        jobs = self._validated_jobs(scenario.jobs(self))
+        jobs = list(self._validated_jobs(scenario.jobs(self)))
+        result.transitions_evaluated = len({index for index, _ in jobs})
+        if not jobs:
+            return result
         if self.engine == "scalar":
-            for index, faults in jobs:
-                self._run_scalar(index, faults, result)
+            if self.workers > 1:
+                self._execute_scalar_sharded(jobs, result)
+            else:
+                self._record_rows(jobs, self._evaluate_scalar(jobs), result)
         else:
-            self._run_batched(jobs, result)
+            plan = self.plan_jobs([index for index, _ in jobs])
+            if self.workers > 1:
+                self._execute_plan_sharded(plan, jobs, result)
+            else:
+                self._execute_plan(plan, jobs, result)
         return result
 
     def run_sweep(self, scenarios: Mapping[str, object]) -> Dict[str, CampaignResult]:
-        """Execute several named scenarios; the compiled netlist is shared."""
+        """Execute several named scenarios.
+
+        The compiled netlist, the worker pool and the plan cache are all
+        shared: scenarios whose jobs touch the same context sequence (e.g.
+        the per-effect sweeps of :func:`effect_sweep_scenarios`) reuse one
+        plan instead of re-packing per scenario.
+        """
         return {name: self.run(scenario) for name, scenario in scenarios.items()}
 
     # ------------------------------------------------------------------
-    # Scalar oracle path
+    # Plan phase
     # ------------------------------------------------------------------
-    def _run_scalar(self, index: int, faults: Tuple[Fault, ...], result: CampaignResult) -> None:
-        edge, inputs = self.contexts[index]
-        golden = self.hardened.state_encoding[edge.dst]
-        observed = self.injector.next_code(edge, inputs, faults=faults)
-        self._classify_and_record(index, edge, faults, golden, observed, result)
-
-    # ------------------------------------------------------------------
-    # Bit-parallel path
-    # ------------------------------------------------------------------
-    def _run_batched(self, jobs: Iterable[InjectionJob], result: CampaignResult) -> None:
-        """Greedy lane-packing planner.
+    def plan_jobs(self, job_contexts: Sequence[int]) -> CampaignPlan:
+        """Plan the lane packing for one job-shape (cached per shape).
 
         A pass holds at most ``lane_width + 1`` lanes: one golden lane per
         distinct transition context in the batch plus one fault lane per job.
         With ``pack_contexts`` (the default) jobs from different contexts
         share a pass -- admitting a job costs one lane, or two when it brings
-        a context the batch has not seen yet; the batch is flushed when the
-        budget would overflow.  Without it every context change flushes, i.e.
+        a context the batch has not seen yet; the batch is cut when the
+        budget would overflow.  Without it every context change cuts, i.e.
         the PR 1 one-context-per-pass behaviour.
         """
-        if not self.pack_contexts:
-            batch: List[Tuple[Fault, ...]] = []
-            batch_index: Optional[int] = None
-            for index, faults in jobs:
-                if batch_index is not None and (
-                    index != batch_index or len(batch) >= self.lane_width
-                ):
-                    self._flush(batch_index, batch, result)
-                    batch = []
-                batch_index = index
-                batch.append(faults)
-            if batch_index is not None and batch:
-                self._flush(batch_index, batch, result)
-            return
+        key = (tuple(job_contexts), self.lane_width, self.pack_contexts)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self.plan_cache_hits += 1
+            # LRU: re-insert so sweeps cycling through shapes keep them alive.
+            del self._plan_cache[key]
+            self._plan_cache[key] = plan
+            return plan
+        if self.pack_contexts:
+            plan = self._plan_packed(key[0])
+        else:
+            plan = self._plan_per_context(key[0])
+        if plan.num_jobs <= PLAN_CACHE_MAX_JOBS:
+            while self._plan_cache and (
+                len(self._plan_cache) >= PLAN_CACHE_LIMIT
+                or self._plan_cache_jobs + plan.num_jobs > PLAN_CACHE_MAX_JOBS
+            ):
+                evicted = self._plan_cache.pop(next(iter(self._plan_cache)))
+                self._plan_cache_jobs -= evicted.num_jobs
+            self._plan_cache[key] = plan
+            self._plan_cache_jobs += plan.num_jobs
+        return plan
 
+    def _plan_packed(self, job_contexts: Tuple[int, ...]) -> CampaignPlan:
+        batches: List[PlannedBatch] = []
         budget = self.lane_width + 1
-        packed: List[InjectionJob] = []
-        packed_contexts: set = set()
+        start = 0
+        seen: Dict[int, None] = {}  # insertion-ordered golden-lane contexts
+        for position, index in enumerate(job_contexts):
+            cost = 1 if index in seen else 2
+            if position > start and (position - start) + len(seen) + cost > budget:
+                batches.append(self._packed_batch(start, position, tuple(seen), job_contexts))
+                start = position
+                seen = {}
+            seen[index] = None
+        if start < len(job_contexts):
+            batches.append(self._packed_batch(start, len(job_contexts), tuple(seen), job_contexts))
+        return CampaignPlan(batches=tuple(batches), num_jobs=len(job_contexts))
+
+    def _packed_batch(
+        self, start: int, stop: int, golden_contexts: Tuple[int, ...], job_contexts: Tuple[int, ...]
+    ) -> PlannedBatch:
+        """Assemble the lane words of one multi-context batch.
+
+        The bit of every lane carries that lane's own transition context, so
+        one evaluation covers every (context, fault group) pair of the batch.
+        """
+        context_mask: Dict[int, int] = {
+            index: 1 << lane for lane, index in enumerate(golden_contexts)
+        }
+        lane = len(golden_contexts)
+        for index in job_contexts[start:stop]:
+            context_mask[index] |= 1 << lane
+            lane += 1
+        input_words: Dict[str, int] = {}
+        register_words: Dict[str, int] = {}
+        input_get = input_words.get
+        register_get = register_words.get
+        for index, mask in context_mask.items():
+            one_inputs, one_registers = self._context_ones(index)
+            for net in one_inputs:
+                input_words[net] = input_get(net, 0) | mask
+            for net in one_registers:
+                register_words[net] = register_get(net, 0) | mask
+        return PlannedBatch(
+            start=start,
+            stop=stop,
+            golden_contexts=golden_contexts,
+            input_words=input_words,
+            register_words=register_words,
+        )
+
+    def _plan_per_context(self, job_contexts: Tuple[int, ...]) -> CampaignPlan:
+        """One-context-per-pass batches (``pack_contexts=False``)."""
+        batches: List[PlannedBatch] = []
+        start = 0
+        for position, index in enumerate(job_contexts):
+            if position > start and (
+                index != job_contexts[start] or position - start >= self.lane_width
+            ):
+                batches.append(
+                    PlannedBatch(start=start, stop=position, golden_contexts=(job_contexts[start],))
+                )
+                start = position
+        if start < len(job_contexts):
+            batches.append(
+                PlannedBatch(
+                    start=start, stop=len(job_contexts), golden_contexts=(job_contexts[start],)
+                )
+            )
+        return CampaignPlan(batches=tuple(batches), num_jobs=len(job_contexts))
+
+    # ------------------------------------------------------------------
+    # Execute phase
+    # ------------------------------------------------------------------
+    def _execute_plan(self, plan: CampaignPlan, jobs: List[InjectionJob], result: CampaignResult) -> None:
+        for batch in plan.batches:
+            self._record_rows(jobs[batch.start : batch.stop], self._evaluate_batch(batch, jobs), result)
+
+    def _execute_plan_sharded(
+        self, plan: CampaignPlan, jobs: List[InjectionJob], result: CampaignResult
+    ) -> None:
+        """Dispatch planned batches to the pool; merge replies in plan order."""
+        pool = self._ensure_pool()
+        specs = _job_specs(jobs)
+        tasks = [(batch, specs[batch.start : batch.stop]) for batch in plan.batches]
+        for batch, reply in zip(plan.batches, pool.imap(_worker_run_batch, tasks)):
+            self._merge_reply(jobs[batch.start : batch.stop], reply, result)
+
+    def _execute_scalar_sharded(self, jobs: List[InjectionJob], result: CampaignResult) -> None:
+        """Shard scalar-oracle jobs into contiguous chunks across the pool."""
+        pool = self._ensure_pool()
+        specs = _job_specs(jobs)
+        chunk = max(1, -(-len(jobs) // (self.workers * 4)))
+        bounds = range(0, len(jobs), chunk)
+        chunks = [specs[i : i + chunk] for i in bounds]
+        for start, reply in zip(bounds, pool.imap(_worker_run_scalar, chunks)):
+            self._merge_reply(jobs[start : start + chunk], reply, result)
+
+    def _merge_reply(
+        self, jobs: Sequence[InjectionJob], reply: _BatchReply, result: CampaignResult
+    ) -> None:
+        """Fold one worker reply into the result, preserving job order.
+
+        Counters are merged as-is (the worker classified every job with the
+        same memoised rule the parent would apply); with ``keep_outcomes`` the
+        per-job rows are re-hydrated into :class:`FaultOutcome` records.
+        """
+        counters, rows = reply
+        if result.keep_outcomes:
+            if rows is None:
+                raise RuntimeError("worker returned no rows for a keep_outcomes campaign")
+            hydrated: List[_JobRow] = [
+                (_CLASSIFICATIONS[cls_index], observed, observed_state)
+                for cls_index, observed, observed_state in rows
+            ]
+            self._record_rows(jobs, hydrated, result)
+            return
+        for classification, count in zip(_CLASSIFICATIONS, counters):
+            if count:
+                result.tally_bulk(classification, count)
+
+    def _evaluate_scalar(self, jobs: Sequence[InjectionJob]) -> List[_JobRow]:
+        """Replay jobs one at a time on the reference injector."""
+        rows: List[_JobRow] = []
         for index, faults in jobs:
-            cost = 1 if index in packed_contexts else 2
-            if packed and len(packed) + len(packed_contexts) + cost > budget:
-                self._flush_packed(packed, result)
-                packed = []
-                packed_contexts = set()
-            packed.append((index, faults))
-            packed_contexts.add(index)
-        if packed:
-            self._flush_packed(packed, result)
+            edge, inputs = self.contexts[index]
+            golden = self.hardened.state_encoding[edge.dst]
+            observed = self.injector.next_code(edge, inputs, faults=faults)
+            classification, observed_state = self._classify(index, golden, observed)
+            rows.append((classification, observed, observed_state))
+        return rows
 
     def _context_vectors(self, index: int) -> Tuple[Dict[str, int], Dict[str, int]]:
         encoded = self._encoded_inputs.get(index)
@@ -531,85 +911,58 @@ class FaultCampaign:
             )
         return golden
 
-    def _flush(
-        self, index: int, fault_groups: List[Tuple[Fault, ...]], result: CampaignResult
-    ) -> None:
-        """One-context pass: lane 0 golden, lanes 1.. one fault group each."""
-        edge, _ = self.contexts[index]
-        encoded, registers = self._context_vectors(index)
-        lanes = [None] + [fault_set(group) for group in fault_groups]
-        values = self.compiled.evaluate(
-            encoded, fault_lanes=lanes, registers=registers, use_source=self._use_source
-        )
-        codes = values.read_words_by_id(self._state_d())
-        golden = self._check_golden(index, codes[0])
-        for faults, observed in zip(fault_groups, codes[1:]):
-            self._classify_and_record(index, edge, faults, golden, observed, result)
+    def _evaluate_batch(self, batch: PlannedBatch, jobs: Sequence[InjectionJob]) -> List[_JobRow]:
+        """One pass over the compiled netlist: goldens first, then job lanes.
 
-    def _flush_packed(self, batch: List[InjectionJob], result: CampaignResult) -> None:
-        """Multi-context pass: goldens first, then one fault lane per job.
-
-        Inputs and registers are assembled as lane words -- the bit of every
-        lane carries that lane's own transition context -- so one evaluation
-        covers every (context, fault group) pair in the batch.
+        Returns one row per job of the batch, in job order.  Runs identically
+        in the parent (``workers=1``) and in pool workers; the golden-lane
+        divergence check raises :class:`RuntimeError` from either side.
         """
-        golden_lane: Dict[int, int] = {}
-        for index, _ in batch:
-            if index not in golden_lane:
-                golden_lane[index] = len(golden_lane)
-        # Per-context masks over all lanes using that context (golden + jobs).
-        context_mask: Dict[int, int] = {
-            index: 1 << lane for index, lane in golden_lane.items()
-        }
-        fault_lanes: List[Optional[FaultSet]] = [None] * len(golden_lane)
-        lane = len(golden_lane)
-        for index, faults in batch:
-            context_mask[index] |= 1 << lane
-            fault_lanes.append(fault_set(faults))
-            lane += 1
+        batch_jobs = jobs[batch.start : batch.stop]
+        num_golden = len(batch.golden_contexts)
+        fault_lanes: List[Optional[FaultSet]] = [None] * num_golden
+        fault_lanes.extend(fault_set(faults) for _, faults in batch_jobs)
+        codes, goldens = self._evaluate_batch_codes(batch, fault_lanes)
+        rows: List[_JobRow] = []
+        for lane, (index, _) in enumerate(batch_jobs, start=num_golden):
+            observed = codes[lane]
+            classification, observed_state = self._classify(index, goldens[index], observed)
+            rows.append((classification, observed, observed_state))
+        return rows
 
-        input_words: Dict[str, int] = {}
-        register_words: Dict[str, int] = {}
-        input_get = input_words.get
-        register_get = register_words.get
-        for index, mask in context_mask.items():
-            one_inputs, one_registers = self._context_ones(index)
-            for net in one_inputs:
-                input_words[net] = input_get(net, 0) | mask
-            for net in one_registers:
-                register_words[net] = register_get(net, 0) | mask
-
-        values = self.compiled.evaluate(
-            input_words,
-            fault_lanes=fault_lanes,
-            registers=register_words,
-            lane_words=True,
-            use_source=self._use_source,
-        )
+    def _evaluate_batch_codes(
+        self, batch: PlannedBatch, fault_lanes: List[Optional[FaultSet]]
+    ) -> Tuple[List[int], Dict[int, int]]:
+        """Evaluate one planned batch: (per-lane codes, per-context goldens)."""
+        if batch.input_words is None:
+            # Single-context batch: broadcast the context vectors to all lanes.
+            encoded, registers = self._context_vectors(batch.golden_contexts[0])
+            values = self.compiled.evaluate(
+                encoded, fault_lanes=fault_lanes, registers=registers, use_source=self._use_source
+            )
+        else:
+            values = self.compiled.evaluate(
+                batch.input_words,
+                fault_lanes=fault_lanes,
+                registers=batch.register_words,
+                lane_words=True,
+                use_source=self._use_source,
+            )
         codes = values.read_words_by_id(self._state_d())
         goldens = {
             index: self._check_golden(index, codes[lane])
-            for index, lane in golden_lane.items()
+            for lane, index in enumerate(batch.golden_contexts)
         }
-        for lane, (index, faults) in enumerate(batch, start=len(golden_lane)):
-            edge, _ = self.contexts[index]
-            self._classify_and_record(index, edge, faults, goldens[index], codes[lane], result)
+        return codes, goldens
 
     # ------------------------------------------------------------------
-    def _classify_and_record(
-        self,
-        index: int,
-        edge: CfgEdge,
-        faults: Tuple[Fault, ...],
-        golden: int,
-        observed: int,
-        result: CampaignResult,
-    ) -> None:
+    def _classify(self, index: int, golden: int, observed: int) -> Tuple[Classification, Optional[str]]:
         # Classification only depends on (context, observed code): memoise it
         # so dense campaigns do not re-derive the same verdict per injection.
         key = (index, observed)
         cached = self._classify_cache.get(key)
         if cached is None:
+            edge, _ = self.contexts[index]
             observed_state = self.hardened.decode_state(observed)
             classification = classify_observation(
                 golden,
@@ -618,22 +971,30 @@ class FaultCampaign:
                 error_states=self._error_states,
                 cfg_successors=self._successors.get(edge.src, frozenset()),
             )
-            self._classify_cache[key] = (classification, observed_state)
-        else:
-            classification, observed_state = cached
+            cached = (classification, observed_state)
+            self._classify_cache[key] = cached
+        return cached
+
+    def _record_rows(
+        self, jobs: Sequence[InjectionJob], rows: Sequence[_JobRow], result: CampaignResult
+    ) -> None:
+        """Merge per-job rows into the result, preserving job order."""
         if result.keep_outcomes:
-            result.record(
-                FaultOutcome.of_faults(
-                    faults,
-                    source_state=edge.src,
-                    expected_state=edge.dst,
-                    observed_code=observed,
-                    observed_state=observed_state,
-                    classification=classification,
+            for (index, faults), (classification, observed, observed_state) in zip(jobs, rows):
+                edge, _ = self.contexts[index]
+                result.record(
+                    FaultOutcome.of_faults(
+                        faults,
+                        source_state=edge.src,
+                        expected_state=edge.dst,
+                        observed_code=observed,
+                        observed_state=observed_state,
+                        classification=classification,
+                    )
                 )
-            )
         else:
-            result.tally(classification)
+            for classification, _, _ in rows:
+                result.tally(classification)
 
 
 def transition_contexts(structure: ScfiNetlist) -> List[Tuple[CfgEdge, Dict[str, int]]]:

@@ -36,6 +36,15 @@ the 10-50x campaign speedups come from: the Python interpreter overhead per
 gate is paid once per *batch* instead of once per *injection*.  The scalar
 simulator remains available as a cross-check oracle (see
 ``tests/test_parallel_sim.py``).
+
+Compiled netlists are also the per-worker unit of the process-sharded
+campaign executor (:mod:`repro.fi.orchestrator`, ``workers=N``): every worker
+process compiles its own instance once from the netlist it receives at pool
+startup (only the netlist crosses the process boundary, not the compiled
+form).  Instances nevertheless survive pickling -- the ``exec``'d source
+evaluator is dropped on ``__getstate__`` and lazily rebuilt from the
+(deterministic) generated source on the other side -- so embedding one in an
+object that *is* shipped to a worker does not crash on the code object.
 """
 
 from __future__ import annotations
@@ -180,6 +189,25 @@ class CompiledNetlist:
         self.num_nets = len(self.net_id)
         self._source: Optional[str] = None
         self._source_fn: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    # Pickling (process-sharded campaigns)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop the ``exec``'d evaluator: code objects do not pickle.
+
+        The sharded campaign executor itself only ships the *netlist* to its
+        workers (each compiles its own instance), but a compiled netlist
+        embedded in any object that does cross a process boundary must not
+        crash the pickle; the generated source is deterministic, so the
+        receiving side simply re-``exec``'s it on first use.
+        """
+        state = dict(self.__dict__)
+        state["_source_fn"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Fault-lane compilation

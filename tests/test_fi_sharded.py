@@ -1,0 +1,223 @@
+"""Process-sharded campaign execution: equality, plan caching, reporting.
+
+The sharded executor must be invisible in the results: ``workers=N`` may only
+change wall-clock time, never a counter, an outcome, or a rate.  These tests
+pin that property on random FSMs and on the ``ibex_lsu_fsm`` regression
+netlist across all three engines, plus the satellite fixes of ISSUE 4
+(per-scenario ``transitions_evaluated``, plan caching across ``run_sweep``,
+CLI validation of ``--engine``/``--workers``).
+"""
+
+import pytest
+
+from repro.cli.fault_campaign import main as fi_main
+from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.eval.security import structural_fault_target_sweep
+from repro.fi.model import FaultEffect
+from repro.fi.orchestrator import (
+    ExhaustiveSingleFault,
+    FaultCampaign,
+    RandomMultiFault,
+    effect_sweep_scenarios,
+)
+from repro.fsm.random_fsm import random_fsm
+from repro.fsmlib.opentitan import ibex_lsu_fsm
+
+ENGINES = ("parallel", "parallel-compiled", "scalar")
+
+ALL_EFFECTS = (FaultEffect.TRANSIENT_FLIP, FaultEffect.STUCK_AT_0, FaultEffect.STUCK_AT_1)
+
+#: The historical ibex_lsu_fsm comb-cloud counters (see test_parallel_sim).
+IBEX_COMB_COUNTERS = (1369, 1479, 74, 88)
+
+
+def _protect(fsm):
+    return protect_fsm(fsm, ScfiOptions(protection_level=2, generate_verilog=False)).structure
+
+
+@pytest.fixture(scope="module")
+def ibex_structure():
+    return _protect(ibex_lsu_fsm())
+
+
+class TestShardedEqualsSingleProcess:
+    """Property style: workers=4 is bit-identical to workers=1 everywhere."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("seed", [7, 19])
+    def test_random_fsm_exhaustive_counters(self, engine, seed):
+        structure = _protect(random_fsm(seed, num_states=5))
+        # The scalar oracle replays one injection at a time; restrict it to
+        # the diffusion region to keep the test fast -- it still exercises
+        # every fault effect through the sharded wire format.
+        target = "diffusion" if engine == "scalar" else "comb"
+        scenario = ExhaustiveSingleFault(target_nets=target, effects=ALL_EFFECTS)
+        single = FaultCampaign(structure, engine=engine).run(scenario)
+        with FaultCampaign(structure, engine=engine, workers=4) as campaign:
+            sharded = campaign.run(scenario)
+        assert sharded.counters() == single.counters()
+        assert sharded.total_injections == single.total_injections
+        assert sharded.transitions_evaluated == single.transitions_evaluated
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_random_fsm_multi_fault_counters(self, engine):
+        structure = _protect(random_fsm(123, num_states=5))
+        scenario = RandomMultiFault(num_faults=2, trials=60, seed=9)
+        single = FaultCampaign(structure, engine=engine).run(scenario)
+        with FaultCampaign(structure, engine=engine, workers=4) as campaign:
+            sharded = campaign.run(scenario)
+        assert sharded.counters() == single.counters()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_ibex_comb_cloud_regression_counters(self, ibex_structure, engine):
+        with FaultCampaign(ibex_structure, engine=engine, workers=4) as campaign:
+            sharded = campaign.run(ExhaustiveSingleFault(target_nets="comb"))
+        assert sharded.counters() == IBEX_COMB_COUNTERS
+
+    def test_sharded_outcomes_keep_job_order(self):
+        structure = _protect(random_fsm(31, num_states=4))
+        scenario = ExhaustiveSingleFault(target_nets="comb")
+        single = FaultCampaign(structure, keep_outcomes=True).run(scenario)
+        with FaultCampaign(structure, keep_outcomes=True, workers=3) as campaign:
+            sharded = campaign.run(scenario)
+        assert sharded.outcomes == single.outcomes
+
+    def test_narrow_lanes_force_many_batches(self):
+        """Tiny lane budgets mean every worker reply carries partial contexts."""
+        structure = _protect(random_fsm(57, num_states=4))
+        scenario = ExhaustiveSingleFault(target_nets="comb")
+        single = FaultCampaign(structure, lane_width=5).run(scenario)
+        with FaultCampaign(structure, lane_width=5, workers=4) as campaign:
+            sharded = campaign.run(scenario)
+        assert sharded.counters() == single.counters()
+
+    def test_structural_sweep_workers_param(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        single = structural_fault_target_sweep(structure)
+        sharded = structural_fault_target_sweep(structure, workers=2)
+        assert set(sharded) == set(single)
+        for name in single:
+            assert sharded[name].counters() == single[name].counters()
+
+    def test_pool_reused_across_runs(self):
+        structure = _protect(random_fsm(71, num_states=4))
+        with FaultCampaign(structure, workers=2) as campaign:
+            first = campaign.run(ExhaustiveSingleFault(target_nets="comb"))
+            pool = campaign._pool
+            second = campaign.run(ExhaustiveSingleFault(target_nets="comb"))
+            assert campaign._pool is pool
+        assert campaign._pool is None  # context exit released it
+        assert first.counters() == second.counters()
+
+
+class TestPlanCaching:
+    """Plans depend only on the job shape and are reused across scenarios."""
+
+    def test_effect_sweep_reuses_one_plan(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        campaign.run_sweep(effect_sweep_scenarios())
+        # Three per-effect scenarios over the same nets and contexts: the
+        # first plans, the other two must hit the cache.
+        assert campaign.plan_cache_hits == 2
+
+    def test_rerun_hits_cache(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        scenario = ExhaustiveSingleFault(target_nets="comb")
+        first = campaign.run(scenario)
+        assert campaign.plan_cache_hits == 0
+        second = campaign.run(scenario)
+        assert campaign.plan_cache_hits == 1
+        assert first.counters() == second.counters()
+
+    def test_different_shapes_plan_separately(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        campaign.run(ExhaustiveSingleFault(target_nets="comb"))
+        campaign.run(ExhaustiveSingleFault())  # diffusion: different shape
+        assert campaign.plan_cache_hits == 0
+
+    def test_cache_is_bounded(self, protected_traffic_light):
+        """Long-lived campaigns over many shapes must not grow without bound."""
+        from repro.fi.orchestrator import PLAN_CACHE_LIMIT
+
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        for trials in range(1, PLAN_CACHE_LIMIT + 10):
+            campaign.run(RandomMultiFault(num_faults=1, trials=trials, seed=trials))
+        assert len(campaign._plan_cache) <= PLAN_CACHE_LIMIT
+
+    def test_lane_width_partitions_cache(self, protected_traffic_light):
+        structure = protected_traffic_light.structure
+        scenario = ExhaustiveSingleFault(target_nets="comb")
+        wide = FaultCampaign(structure, lane_width=64).run(scenario)
+        narrow = FaultCampaign(structure, lane_width=3).run(scenario)
+        assert wide.counters() == narrow.counters()
+
+
+class TestTransitionsEvaluated:
+    """Per-transition rates must count the contexts the jobs actually touch."""
+
+    def test_exhaustive_touches_every_context(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        result = campaign.run(ExhaustiveSingleFault())
+        assert result.transitions_evaluated == len(campaign.contexts)
+
+    def test_single_trial_counts_one_context(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        result = campaign.run(RandomMultiFault(num_faults=1, trials=1, seed=3))
+        assert result.transitions_evaluated == 1
+
+    def test_sampled_subset_not_inflated(self, protected_traffic_light):
+        campaign = FaultCampaign(protected_traffic_light.structure)
+        result = campaign.run(RandomMultiFault(num_faults=2, trials=5, seed=0))
+        assert 1 <= result.transitions_evaluated <= 5
+        assert result.transitions_evaluated <= len(campaign.contexts)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_engine_independent(self, protected_traffic_light, engine):
+        campaign = FaultCampaign(protected_traffic_light.structure, engine=engine)
+        result = campaign.run(RandomMultiFault(num_faults=1, trials=4, seed=8))
+        oracle = FaultCampaign(protected_traffic_light.structure, engine="scalar").run(
+            RandomMultiFault(num_faults=1, trials=4, seed=8)
+        )
+        assert result.transitions_evaluated == oracle.transitions_evaluated
+
+
+class TestWorkersValidation:
+    def test_executor_rejects_zero_workers(self, protected_traffic_light):
+        with pytest.raises(ValueError, match="workers"):
+            FaultCampaign(protected_traffic_light.structure, workers=0)
+
+    def test_cli_rejects_zero_workers(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            fi_main(["--fsm", "traffic_light", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_cli_rejects_non_integer_workers(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            fi_main(["--fsm", "traffic_light", "--workers", "many"])
+        assert excinfo.value.code == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_cli_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            fi_main(["--fsm", "traffic_light", "--engine", "quantum"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_cli_engine_choices_track_executor(self):
+        from repro.cli.fault_campaign import build_parser
+
+        parser = build_parser()
+        action = next(a for a in parser._actions if a.dest == "engine")
+        assert tuple(action.choices) == FaultCampaign.ENGINES
+
+    def test_cli_rejects_workers_for_behavioral(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            fi_main(["--fsm", "traffic_light", "--mode", "behavioral", "--workers", "2"])
+        assert excinfo.value.code == 2
+
+    def test_cli_sharded_run_succeeds(self, capsys):
+        exit_code = fi_main(["--fsm", "traffic_light", "--workers", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "injections" in captured.out

@@ -250,6 +250,22 @@ class TestSourceCompilation:
         for op in compiled.ops:
             assert f"values[{op[1]}] = v{op[1]}" in source
 
+    def test_pickle_round_trip_drops_and_rebuilds_evaluator(self):
+        """The exec'd evaluator must not break pickling (spawn-pool safety)."""
+        import pickle
+
+        rng = random.Random(13)
+        netlist = random_netlist(rng, "pickled")
+        compiled = CompiledNetlist(netlist)
+        compiled.source_evaluator()  # force the unpicklable code object
+        restored = pickle.loads(pickle.dumps(compiled))
+        assert restored._source_fn is None
+        inputs = {net: rng.randrange(2) for net in netlist.primary_inputs}
+        original = compiled.evaluate(inputs, use_source=True)
+        rebuilt = restored.evaluate(inputs, use_source=True)
+        for net in compiled.net_id:
+            assert rebuilt.word(net) == original.word(net)
+
 
 class TestProtectedNetlistEquivalence:
     def test_lanes_match_on_scfi_netlist(self, protected_traffic_light):
