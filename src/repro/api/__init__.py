@@ -1,0 +1,45 @@
+"""Declarative experiment API: specs in, serializable results out.
+
+``repro.api`` is the library front door of the SCFI reproduction.  Describe
+an experiment as data (:class:`ExperimentSpec`), run it through a
+:class:`Session`, get back an :class:`ExperimentResult` whose ``to_dict()``
+round-trips through JSON -- the same contract the ``scfi run`` CLI and any
+future distributed backend speak.
+"""
+
+from repro.api.registry import (
+    ENGINE_REGISTRY,
+    SCENARIO_REGISTRY,
+    available_engines,
+    available_scenarios,
+    register_engine,
+    register_scenario,
+)
+from repro.api.session import ExperimentResult, Session
+from repro.api.spec import (
+    SPEC_VERSION,
+    CampaignSpec,
+    ExperimentSpec,
+    FsmSpec,
+    ProtectSpec,
+    ReportSpec,
+    canonical_json,
+)
+
+__all__ = [
+    "SPEC_VERSION",
+    "CampaignSpec",
+    "ENGINE_REGISTRY",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FsmSpec",
+    "ProtectSpec",
+    "ReportSpec",
+    "SCENARIO_REGISTRY",
+    "Session",
+    "available_engines",
+    "available_scenarios",
+    "canonical_json",
+    "register_engine",
+    "register_scenario",
+]

@@ -1,0 +1,239 @@
+"""The :class:`Session` runner: executes :class:`~repro.api.spec.ExperimentSpec`.
+
+A session resolves a declarative spec through the registries (FSMs in
+:mod:`repro.fsmlib.registry`, scenarios and engines in
+:mod:`repro.api.registry`), executes harden -> campaign -> classification and
+returns a serializable :class:`ExperimentResult` bundling the hardening
+summary, the per-scenario campaign counters and provenance (spec hash,
+engine, lane width, workers).  Progress is reported through an optional
+callback, so long campaigns can drive CLIs, notebooks or service frontends
+alike::
+
+    from repro.api import ExperimentSpec, CampaignSpec, FsmSpec, Session
+
+    spec = ExperimentSpec(fsm=FsmSpec(name="traffic_light"),
+                          campaign=CampaignSpec(scenario="exhaustive"))
+    result = Session().run(spec)
+    print(result.campaigns["exhaustive"].format())
+    json.dump(result.to_dict(), open("result.json", "w"))
+
+The evaluation harnesses (:mod:`repro.eval.security`,
+:mod:`repro.eval.table1`, :mod:`repro.eval.figure8`) and both CLIs route
+their campaign execution through this layer; a future multi-host scheduler
+only needs to ship the JSON spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Optional
+
+from repro.api.registry import BEHAVIORAL, build_scenarios, make_executor
+from repro.api.spec import SPEC_VERSION, CampaignSpec, ExperimentSpec, ReportSpec
+from repro.core.scfi import ScfiResult, protect_fsm
+from repro.core.structure import ScfiNetlist
+from repro.fi.behavioral import BehavioralCampaignResult, behavioral_fault_campaign
+from repro.fi.orchestrator import CampaignResult
+
+#: Progress callback: ``(stage, detail)`` -- e.g. ``("campaign", "exhaustive")``.
+ProgressCallback = Callable[[str, str], None]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one spec execution produced.
+
+    The live result objects (:class:`~repro.core.scfi.ScfiResult`,
+    :class:`~repro.fi.orchestrator.CampaignResult`) stay accessible for
+    library callers; :meth:`to_dict` lowers the whole bundle -- spec, spec
+    hash, hardening summary, campaign counters, engine provenance -- to plain
+    JSON-able data for persistence and golden-snapshot comparisons.
+    """
+
+    spec: ExperimentSpec
+    spec_hash: str
+    scfi: ScfiResult
+    campaigns: Dict[str, CampaignResult] = field(default_factory=dict)
+    behavioral: Optional[BehavioralCampaignResult] = None
+    compare: Optional[Dict[str, Any]] = None
+    timing: Optional[Dict[str, float]] = None
+    #: Execution parameters overridden at run time (e.g. ``{"workers": 4}``
+    #: from ``scfi run --workers``).  Kept out of ``spec``/``spec_hash`` --
+    #: the hash identifies the submitted experiment, not how it was placed --
+    #: and folded into :meth:`provenance` instead.
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def compare_agrees(self) -> bool:
+        """True when no cross-check ran or the cross-check counters matched."""
+        return self.compare is None or bool(self.compare["agree"])
+
+    def provenance(self) -> Optional[Dict[str, Any]]:
+        """How the campaign was executed (None for pure hardening runs)."""
+        campaign = self.spec.campaign
+        if campaign is None:
+            return None
+        if campaign.scenario == BEHAVIORAL:
+            return {"scenario": BEHAVIORAL, "engine": None, "lane_width": None,
+                    "workers": 1, "pack_contexts": None}
+        return {
+            "scenario": campaign.scenario,
+            "engine": campaign.engine,
+            "lane_width": campaign.lane_width,
+            "workers": self.overrides.get("workers", campaign.workers),
+            "pack_contexts": campaign.pack_contexts,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        harden = self.scfi.to_dict(include_area=self.spec.report.include_area)
+        if self.timing is not None:
+            harden["timing"] = dict(self.timing)
+        return {
+            "version": SPEC_VERSION,
+            "spec_hash": self.spec_hash,
+            "spec": self.spec.to_dict(),
+            "provenance": self.provenance(),
+            "harden": harden,
+            "campaigns": {name: result.to_dict() for name, result in self.campaigns.items()},
+            "behavioral": self.behavioral.to_dict() if self.behavioral else None,
+            "compare": self.compare,
+        }
+
+
+class Session:
+    """Resolves and executes experiment specs.
+
+    ``progress`` receives ``(stage, detail)`` pairs as the run advances
+    ("resolve", "harden", "campaign", "compare", "done").  Sessions are
+    stateless between runs; one session may execute many specs.
+    """
+
+    def __init__(self, progress: Optional[ProgressCallback] = None):
+        self._progress = progress
+
+    def _emit(self, stage: str, detail: str = "") -> None:
+        if self._progress is not None:
+            self._progress(stage, detail)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        fsm=None,
+        workers: Optional[int] = None,
+    ) -> ExperimentResult:
+        """Execute one spec end to end.
+
+        ``workers`` overrides the campaign's worker count (the ``scfi run
+        --workers`` escape hatch; classification counters are worker-count
+        independent by construction).  The override never enters the spec or
+        its hash -- ``spec_hash`` identifies the submitted experiment while
+        :meth:`ExperimentResult.provenance` records the effective worker
+        count.  ``fsm`` lets trusted library callers that already hold the
+        resolved :class:`~repro.fsm.model.Fsm` skip the registry lookup; the
+        spec must still describe the same machine, since it is what gets
+        hashed and persisted.
+        """
+        spec_hash = spec.content_hash()
+        overrides: Dict[str, Any] = {}
+        effective = spec.campaign
+        if workers is not None and effective is not None and workers != effective.workers:
+            overrides["workers"] = workers
+            effective = spec.with_overrides(workers=workers).campaign
+
+        self._emit("resolve", spec.fsm.name or "<inline verilog>")
+        if fsm is None:
+            fsm = spec.fsm.resolve()
+
+        self._emit("harden", f"{fsm.name} N={spec.protect.protection_level}")
+        scfi = protect_fsm(fsm, spec.protect.to_options(generate_verilog=spec.report.emit_verilog))
+        result = ExperimentResult(spec=spec, spec_hash=spec_hash, scfi=scfi, overrides=overrides)
+
+        if spec.report.include_timing:
+            from repro.netlist.timing import TimingAnalyzer
+
+            timing = TimingAnalyzer(scfi.structure.netlist).analyze()
+            result.timing = {
+                "min_clock_period_ps": timing.min_clock_period_ps,
+                "max_frequency_mhz": timing.max_frequency_mhz,
+            }
+
+        campaign = effective
+        if campaign is not None:
+            if campaign.scenario == BEHAVIORAL:
+                self._emit("campaign", BEHAVIORAL)
+                result.behavioral = behavioral_fault_campaign(
+                    scfi.hardened,
+                    num_faults=campaign.faults,
+                    trials=campaign.trials,
+                    seed=campaign.seed,
+                )
+            else:
+                result.campaigns = self.run_campaign(
+                    scfi.structure, campaign, report=spec.report
+                )
+                if campaign.compare:
+                    result.compare = self._cross_check(
+                        scfi.structure, campaign, result.campaigns
+                    )
+        self._emit("done", spec_hash[:12])
+        return result
+
+    # ------------------------------------------------------------------
+    def run_campaign(
+        self,
+        structure: ScfiNetlist,
+        campaign: CampaignSpec,
+        report: Optional[ReportSpec] = None,
+    ) -> Dict[str, CampaignResult]:
+        """Execute a campaign spec against an already-hardened netlist.
+
+        This is the seam the evaluation harnesses use: they hold a
+        :class:`~repro.core.structure.ScfiNetlist` already and only need the
+        scenario/engine resolution plus execution, without re-hardening.
+        """
+        report = report or ReportSpec()
+        scenarios = build_scenarios(campaign, structure)
+        results: Dict[str, CampaignResult] = {}
+        with make_executor(campaign, structure, keep_outcomes=report.keep_outcomes) as executor:
+            for name, scenario in scenarios.items():
+                self._emit("campaign", name)
+                results[name] = executor.run(scenario)
+        return results
+
+    def _cross_check(
+        self,
+        structure: ScfiNetlist,
+        campaign: CampaignSpec,
+        results: Dict[str, CampaignResult],
+    ) -> Dict[str, Any]:
+        """Replay the campaign on the cross-check engine and diff the counters.
+
+        The oracle always runs single-process, so a sharded run's merge is
+        cross-checked along with the engine.  The verdict is *recorded*, not
+        raised: frontends decide whether a divergence is fatal (the CLI exits
+        non-zero).
+        """
+        oracle_engine = "parallel" if campaign.engine == "scalar" else "scalar"
+        oracle_spec = replace(
+            campaign, engine=oracle_engine, workers=1, compare=False
+        )
+        self._emit("compare", oracle_engine)
+        references = self.run_campaign(structure, oracle_spec)
+        scenarios: Dict[str, Any] = {}
+        agree = True
+        for name, reference in references.items():
+            matches = reference.counters() == results[name].counters()
+            agree = agree and matches
+            scenarios[name] = {
+                "agree": matches,
+                "engine_counters": list(results[name].counters()),
+                "oracle_counters": list(reference.counters()),
+            }
+        return {
+            "engine": campaign.engine,
+            "oracle_engine": oracle_engine,
+            "agree": agree,
+            "scenarios": scenarios,
+        }

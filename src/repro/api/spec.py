@@ -1,0 +1,282 @@
+"""Typed, serializable experiment specifications.
+
+An :class:`ExperimentSpec` is the complete declarative description of one
+SCFI experiment -- which FSM to protect (:class:`FsmSpec`), how to protect it
+(:class:`ProtectSpec`), which fault campaign to run against the protected
+netlist (:class:`CampaignSpec`) and what to report (:class:`ReportSpec`).
+Every spec round-trips through plain JSON-able dicts (``to_dict`` /
+``from_dict``) and has a stable :meth:`ExperimentSpec.content_hash`, so any
+frontend -- the CLIs, the library :class:`~repro.api.session.Session`, a
+future distributed scheduler -- can ship, persist and deduplicate experiments
+as data instead of threading keyword arguments through call chains.
+
+Names resolve through registries at *run* time (:mod:`repro.fsmlib.registry`
+for FSMs, :mod:`repro.api.registry` for scenarios and engines), so a spec
+written today keeps working when new FSMs, scenarios or engines are
+registered tomorrow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from repro.fi.model import FaultEffect
+from repro.fi.orchestrator import DEFAULT_LANE_WIDTH
+
+#: Bumped whenever the on-disk spec format changes incompatibly.
+SPEC_VERSION = 1
+
+#: Valid fault-effect wire names ("flip", "stuck0", "stuck1").
+EFFECT_NAMES = tuple(effect.value for effect in FaultEffect)
+
+
+def canonical_json(data: Any) -> str:
+    """The canonical JSON serialization used for hashing: sorted keys, no
+    whitespace -- insensitive to dict insertion order by construction."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _check_known_keys(cls, data: Dict[str, Any]) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} keys: {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+
+
+@dataclass(frozen=True)
+class FsmSpec:
+    """Which FSM the experiment protects.
+
+    Exactly one source must be given: ``name`` resolves through the shared
+    registry (:data:`repro.fsmlib.FSM_REGISTRY`), ``verilog`` carries inline
+    SystemVerilog source so the spec stays self-contained when the FSM is not
+    a registered benchmark.
+    """
+
+    name: Optional[str] = None
+    verilog: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.name is None) == (self.verilog is None):
+            raise ValueError("FsmSpec needs exactly one of 'name' or 'verilog'")
+
+    def resolve(self):
+        """Build the described :class:`~repro.fsm.model.Fsm`."""
+        if self.name is not None:
+            from repro.fsmlib.registry import get_fsm
+
+            return get_fsm(self.name)
+        from repro.rtl.verilog_parser import parse_fsm_verilog
+
+        return parse_fsm_verilog(self.verilog)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "verilog": self.verilog}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FsmSpec":
+        _check_known_keys(cls, data)
+        return cls(name=data.get("name"), verilog=data.get("verilog"))
+
+
+@dataclass(frozen=True)
+class ProtectSpec:
+    """How the FSM is hardened -- mirrors :class:`~repro.core.scfi.ScfiOptions`.
+
+    Defaults match ``ScfiOptions`` (the library defaults), not the CLI
+    defaults; the CLI adapters pass their flag values explicitly.
+    """
+
+    protection_level: int = 2
+    error_bits: int = 3
+    share_xors: bool = True
+    repair_diffusion: bool = True
+
+    def __post_init__(self) -> None:
+        if self.protection_level < 1:
+            raise ValueError("protection_level must be >= 1")
+        if self.error_bits < 0:
+            raise ValueError("error_bits must be >= 0")
+
+    def to_options(self, generate_verilog: bool = False):
+        from repro.core.scfi import ScfiOptions
+
+        return ScfiOptions(
+            protection_level=self.protection_level,
+            error_bits=self.error_bits,
+            share_xors=self.share_xors,
+            repair_diffusion=self.repair_diffusion,
+            generate_verilog=generate_verilog,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProtectSpec":
+        _check_known_keys(cls, data)
+        return cls(**data)
+
+
+#: A campaign target: None (scenario default), a named region alias
+#: ("diffusion" / "comb") or an explicit list of net names.
+CampaignTarget = Union[None, str, Tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Which fault campaign to run, on which engine.
+
+    ``scenario`` resolves through :data:`repro.api.registry.SCENARIO_REGISTRY`
+    ("exhaustive", "random", "effects", "regions", "behavioral"); ``engine``
+    through :data:`repro.api.registry.ENGINE_REGISTRY` (wrapping
+    ``FaultCampaign.ENGINES``).  ``target``/``effects``/``faults``/``trials``/
+    ``seed`` parameterize the scenario with the same defaults the historical
+    ``scfi-fi`` modes used, so spec-driven runs reproduce legacy counters bit
+    for bit.  ``compare=True`` additionally replays the campaign on the
+    cross-check engine and records whether the counters agree.
+    """
+
+    scenario: str = "exhaustive"
+    target: CampaignTarget = None
+    effects: Optional[Tuple[str, ...]] = None
+    faults: int = 2
+    trials: int = 1000
+    seed: int = 0
+    engine: str = "parallel"
+    lane_width: int = DEFAULT_LANE_WIDTH
+    workers: int = 1
+    pack_contexts: bool = True
+    compare: bool = False
+
+    def __post_init__(self) -> None:
+        if self.effects is not None:
+            object.__setattr__(self, "effects", tuple(self.effects))
+            unknown = sorted(set(self.effects) - set(EFFECT_NAMES))
+            if unknown:
+                raise ValueError(
+                    f"unknown fault effects: {', '.join(unknown)} "
+                    f"(known: {', '.join(EFFECT_NAMES)})"
+                )
+        if self.target is not None and not isinstance(self.target, str):
+            object.__setattr__(self, "target", tuple(self.target))
+        if self.faults < 1:
+            raise ValueError("faults must be >= 1")
+        if self.trials < 0:
+            raise ValueError("trials must be >= 0")
+        if self.lane_width < 1:
+            raise ValueError("lane_width must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    def resolved_effects(self, default: Sequence[FaultEffect]) -> Tuple[FaultEffect, ...]:
+        """The requested :class:`FaultEffect` tuple, or ``default`` when unset."""
+        if self.effects is None:
+            return tuple(default)
+        return tuple(FaultEffect(name) for name in self.effects)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["effects"] = list(self.effects) if self.effects is not None else None
+        data["target"] = list(self.target) if isinstance(self.target, tuple) else self.target
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        _check_known_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ReportSpec:
+    """What the experiment result should carry beyond the raw counters."""
+
+    keep_outcomes: bool = False
+    include_area: bool = True
+    include_timing: bool = False
+    emit_verilog: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReportSpec":
+        _check_known_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One complete experiment: harden -> campaign -> report.
+
+    ``campaign=None`` describes a pure hardening run (the ``scfi-harden``
+    shape).  The spec is hashable content: :meth:`content_hash` is stable
+    across dict ordering and across processes, so schedulers can deduplicate
+    and result stores can key on it.
+    """
+
+    fsm: FsmSpec = field(default_factory=lambda: FsmSpec(name="formal_fsm"))
+    protect: ProtectSpec = field(default_factory=ProtectSpec)
+    campaign: Optional[CampaignSpec] = None
+    report: ReportSpec = field(default_factory=ReportSpec)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SPEC_VERSION,
+            "fsm": self.fsm.to_dict(),
+            "protect": self.protect.to_dict(),
+            "campaign": self.campaign.to_dict() if self.campaign is not None else None,
+            "report": self.report.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        data = dict(data)
+        version = data.pop("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported spec version {version!r} (this build reads {SPEC_VERSION})"
+            )
+        _check_known_keys(cls, data)
+        campaign = data.get("campaign")
+        return cls(
+            fsm=FsmSpec.from_dict(data.get("fsm") or {}),
+            protect=ProtectSpec.from_dict(data.get("protect") or {}),
+            campaign=CampaignSpec.from_dict(campaign) if campaign is not None else None,
+            report=ReportSpec.from_dict(data.get("report") or {}),
+        )
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical JSON form -- the spec's stable identity."""
+        return hashlib.sha256(canonical_json(self.to_dict()).encode("utf-8")).hexdigest()
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path) -> "ExperimentSpec":
+        """Read a spec from a JSON file (the ``scfi run`` input format)."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    def with_overrides(self, **campaign_overrides) -> "ExperimentSpec":
+        """A copy with campaign fields replaced (e.g. ``workers`` from the CLI)."""
+        if not campaign_overrides:
+            return self
+        if self.campaign is None:
+            raise ValueError("spec has no campaign section to override")
+        return replace(self, campaign=replace(self.campaign, **campaign_overrides))

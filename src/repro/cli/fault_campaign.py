@@ -1,13 +1,12 @@
 """``scfi-fi``: run fault-injection campaigns against a protected benchmark FSM.
 
-All gate-level modes execute on the unified campaign layer
-(:mod:`repro.fi.orchestrator`) with the bit-parallel engine by default;
-``--engine parallel-compiled`` runs the same lane batches on the
-source-compiled evaluator, ``--engine scalar`` replays on the reference
-simulator and ``--compare`` additionally runs the cross-check engine and
-asserts the classification counters match lane for lane.  ``--workers N``
-dispatches the planned batches to a process pool (one compiled netlist per
-worker); the merged counters are bit-identical to a single-process run.
+A thin argparse -> :class:`~repro.api.spec.ExperimentSpec` adapter over the
+declarative API: the flags are lowered to a spec (mode -> scenario name,
+engine/lane-width/workers -> campaign execution parameters) and run through
+:class:`~repro.api.session.Session`, exactly like ``scfi run`` and the
+library entry points.  ``--compare`` additionally replays on the cross-check
+engine (scalar oracle, or the parallel engine from ``--engine scalar``) and
+**exits non-zero** when the classification counters diverge.
 
 Modes:
 
@@ -25,20 +24,18 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.cli.harden import FSM_REGISTRY
-from repro.core.scfi import ScfiOptions, protect_fsm
-from repro.fi.behavioral import behavioral_fault_campaign
-from repro.fi.model import FaultEffect
-from repro.fi.orchestrator import (
-    DEFAULT_LANE_WIDTH,
-    ExhaustiveSingleFault,
-    FaultCampaign,
-    RandomMultiFault,
-    effect_sweep_scenarios,
-    region_sweep_scenarios,
+from repro.api import (
+    CampaignSpec,
+    ExperimentSpec,
+    FsmSpec,
+    ProtectSpec,
+    Session,
+    available_engines,
+    available_scenarios,
 )
-
-_EFFECTS = {effect.value: effect for effect in FaultEffect}
+from repro.api.spec import EFFECT_NAMES
+from repro.fi.orchestrator import DEFAULT_LANE_WIDTH
+from repro.fsmlib import available_fsms
 
 
 def _positive_int(text: str) -> int:
@@ -55,11 +52,12 @@ def _positive_int(text: str) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description="Fault-injection campaigns on SCFI-protected FSMs")
-    parser.add_argument("--fsm", choices=sorted(FSM_REGISTRY), default="formal_fsm")
+    parser.add_argument("--fsm", choices=available_fsms(), default="formal_fsm")
     parser.add_argument("-N", "--protection-level", type=int, default=2)
     parser.add_argument(
         "--mode",
-        choices=["exhaustive", "random", "effects", "regions", "behavioral"],
+        # The scenario registry is the single source of truth for what can run.
+        choices=available_scenarios(),
         default="exhaustive",
         help="exhaustive single faults, random gate-level multi-fault sampling, "
         "per-effect sweeps, per-region FT1/FT2/FT3 sweeps, or fast behavioural "
@@ -76,16 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--effects",
         nargs="+",
-        choices=sorted(_EFFECTS),
+        choices=sorted(EFFECT_NAMES),
         default=None,
         help="fault effects to inject (default: flip only; effects mode "
         "defaults to all three)",
     )
     parser.add_argument(
         "--engine",
-        # Single source of truth: an engine the orchestrator does not know
-        # must die here as an argparse error, not as a deep ValueError.
-        choices=list(FaultCampaign.ENGINES),
+        # An engine the registry does not know must die here as an argparse
+        # error, not as a deep ValueError.
+        choices=available_engines(),
         default="parallel",
         help="bit-parallel lane engine (default), the same lanes on the "
         "source-compiled evaluator (netlist exec'd as generated Python, "
@@ -111,7 +109,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare",
         action="store_true",
         help="also run the scalar reference oracle (or, from --engine scalar, "
-        "the parallel engine) and assert identical classification counters",
+        "the parallel engine), assert identical classification counters and "
+        "exit non-zero on divergence",
     )
     parser.add_argument("--faults", type=int, default=2, help="simultaneous faults (random/behavioral)")
     parser.add_argument("--trials", type=int, default=1000, help="trials (random/behavioral)")
@@ -119,26 +118,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _scenarios(args, structure):
-    chosen = tuple(_EFFECTS[name] for name in args.effects) if args.effects else None
-    if args.mode == "exhaustive":
-        effects = chosen or (FaultEffect.TRANSIENT_FLIP,)
-        target = args.target or "diffusion"
-        return {"exhaustive": ExhaustiveSingleFault(target_nets=target, effects=effects)}
-    if args.mode == "random":
-        return {
-            "random": RandomMultiFault(
-                num_faults=args.faults,
-                trials=args.trials,
-                target_nets=args.target or "comb",
-                seed=args.seed,
-                effects=chosen or (FaultEffect.TRANSIENT_FLIP,),
-            )
-        }
-    if args.mode == "effects":
-        effects = chosen or tuple(_EFFECTS.values())
-        return effect_sweep_scenarios(effects=effects, target_nets=args.target or "diffusion")
-    return region_sweep_scenarios(structure, effects=chosen or (FaultEffect.TRANSIENT_FLIP,))
+def spec_from_args(args) -> ExperimentSpec:
+    """Lower parsed flags to the declarative experiment spec."""
+    return ExperimentSpec(
+        fsm=FsmSpec(name=args.fsm),
+        protect=ProtectSpec(protection_level=args.protection_level),
+        campaign=CampaignSpec(
+            scenario=args.mode,
+            target=args.target,
+            effects=tuple(args.effects) if args.effects else None,
+            faults=args.faults,
+            trials=args.trials,
+            seed=args.seed,
+            engine=args.engine,
+            lane_width=args.lane_width,
+            workers=args.workers,
+            compare=args.compare,
+        ),
+    )
 
 
 def main(argv=None) -> int:
@@ -161,39 +158,27 @@ def main(argv=None) -> int:
     if args.mode == "regions" and args.target is not None:
         parser.error("--target applies to exhaustive/random/effects; regions sweep "
                      "the fixed FT1/FT2/FT3 net groups")
-    fsm = FSM_REGISTRY[args.fsm]()
-    result = protect_fsm(
-        fsm, ScfiOptions(protection_level=args.protection_level, generate_verilog=False)
-    )
-    if args.mode == "behavioral":
-        campaign = behavioral_fault_campaign(
-            result.hardened, num_faults=args.faults, trials=args.trials, seed=args.seed
-        )
-        print(campaign.format())
+
+    result = Session().run(spec_from_args(args))
+    if result.behavioral is not None:
+        print(result.behavioral.format())
         return 0
 
-    scenarios = _scenarios(args, result.structure)
-    with FaultCampaign(
-        result.structure, engine=args.engine, lane_width=args.lane_width, workers=args.workers
-    ) as executor:
-        results = executor.run_sweep(scenarios)
-    for name, campaign in results.items():
-        prefix = f"{name:<15} " if len(results) > 1 else ""
+    for name, campaign in result.campaigns.items():
+        prefix = f"{name:<15} " if len(result.campaigns) > 1 else ""
         print(f"{prefix}{campaign.format()}")
-    if args.compare:
-        # The oracle always runs single-process, so --compare from a sharded
-        # run cross-checks the sharded merge as well as the engine.
-        other_engine = "parallel" if args.engine == "scalar" else "scalar"
-        oracle = FaultCampaign(result.structure, engine=other_engine, lane_width=args.lane_width)
-        for name, reference in oracle.run_sweep(scenarios).items():
-            if reference.counters() != results[name].counters():
-                print(
-                    f"ENGINE MISMATCH in {name}: {args.engine}={results[name].counters()} "
-                    f"{other_engine}={reference.counters()}",
-                    file=sys.stderr,
-                )
-                return 1
-        print(f"engines agree ({args.engine} vs {other_engine})")
+    if result.compare is not None:
+        if not result.compare_agrees:
+            for name, verdict in result.compare["scenarios"].items():
+                if not verdict["agree"]:
+                    print(
+                        f"ENGINE MISMATCH in {name}: "
+                        f"{result.compare['engine']}={tuple(verdict['engine_counters'])} "
+                        f"{result.compare['oracle_engine']}={tuple(verdict['oracle_counters'])}",
+                        file=sys.stderr,
+                    )
+            return 1
+        print(f"engines agree ({result.compare['engine']} vs {result.compare['oracle_engine']})")
     return 0
 
 

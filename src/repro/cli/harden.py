@@ -1,48 +1,26 @@
-"""``scfi-harden``: protect a benchmark FSM and print the resulting artefacts."""
+"""``scfi-harden``: protect a benchmark FSM and print the resulting artefacts.
+
+This is a thin argparse -> :class:`~repro.api.spec.ExperimentSpec` adapter:
+the flags are lowered to a declarative spec and executed through
+:class:`~repro.api.session.Session`, the same path the library API and
+``scfi run`` take.  The FSM choices come from the shared registry in
+:mod:`repro.fsmlib.registry` (also consumed by ``scfi-fi``).
+"""
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
 
-from repro.core.scfi import ScfiOptions, protect_fsm
-from repro.fsm.model import Fsm
-from repro.fsmlib import (
-    adc_ctrl_fsm,
-    aes_control_fsm,
-    formal_analysis_fsm,
-    i2c_fsm,
-    ibex_controller_fsm,
-    ibex_lsu_fsm,
-    otbn_controller_fsm,
-    pwrmgr_fsm,
-    spi_master_fsm,
-    traffic_light_fsm,
-    uart_rx_fsm,
-)
-from repro.netlist.timing import TimingAnalyzer
-from repro.rtl.verilog_parser import parse_fsm_verilog
-
-FSM_REGISTRY: Dict[str, Callable[[], Fsm]] = {
-    "adc_ctrl_fsm": adc_ctrl_fsm,
-    "aes_control": aes_control_fsm,
-    "i2c_fsm": i2c_fsm,
-    "ibex_controller": ibex_controller_fsm,
-    "ibex_lsu": ibex_lsu_fsm,
-    "otbn_controller": otbn_controller_fsm,
-    "pwrmgr_fsm": pwrmgr_fsm,
-    "formal_fsm": formal_analysis_fsm,
-    "traffic_light": traffic_light_fsm,
-    "uart_rx": uart_rx_fsm,
-    "spi_master": spi_master_fsm,
-}
+from repro.api import ExperimentSpec, FsmSpec, ProtectSpec, ReportSpec, Session
+from repro.fsmlib import available_fsms
+from repro.fsmlib import FSM_REGISTRY  # noqa: F401 -- historical import location
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description="Protect an FSM with SCFI")
     source = parser.add_mutually_exclusive_group(required=True)
-    source.add_argument("--fsm", choices=sorted(FSM_REGISTRY), help="benchmark FSM to protect")
+    source.add_argument("--fsm", choices=available_fsms(), help="benchmark FSM to protect")
     source.add_argument("--verilog", help="SystemVerilog file containing an FSM to protect")
     parser.add_argument("-N", "--protection-level", type=int, default=2, help="protection level N")
     parser.add_argument("--error-bits", type=int, default=2, help="error bits per diffusion block")
@@ -51,19 +29,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+def spec_from_args(args) -> ExperimentSpec:
+    """Lower parsed flags to the declarative experiment spec."""
     if args.fsm:
-        fsm = FSM_REGISTRY[args.fsm]()
+        fsm = FsmSpec(name=args.fsm)
     else:
         with open(args.verilog) as handle:
-            fsm = parse_fsm_verilog(handle.read())
-
-    result = protect_fsm(
-        fsm,
-        ScfiOptions(protection_level=args.protection_level, error_bits=args.error_bits),
+            fsm = FsmSpec(verilog=handle.read())
+    return ExperimentSpec(
+        fsm=fsm,
+        protect=ProtectSpec(
+            protection_level=args.protection_level, error_bits=args.error_bits
+        ),
+        report=ReportSpec(
+            include_area=args.report,
+            include_timing=args.report,
+            emit_verilog=args.emit_verilog,
+        ),
     )
-    hardened = result.hardened
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    result = Session().run(spec_from_args(args))
+    hardened = result.scfi.hardened
+    fsm = result.scfi.fsm
     print(f"Protected {fsm.name!r} with SCFI at N={args.protection_level}")
     print(f"  states           : {fsm.num_states} (+1 error state)")
     print(f"  encoded width    : {hardened.state_width} bits")
@@ -71,13 +61,12 @@ def main(argv=None) -> int:
     print(f"  diffusion blocks : {hardened.layout.num_blocks}")
     if args.report:
         print()
-        print(result.area.format())
-        timing = TimingAnalyzer(result.netlist).analyze()
-        print(f"  min clock period : {timing.min_clock_period_ps:.0f} ps "
-              f"({timing.max_frequency_mhz:.0f} MHz)")
-    if args.emit_verilog and result.verilog:
+        print(result.scfi.area.format())
+        print(f"  min clock period : {result.timing['min_clock_period_ps']:.0f} ps "
+              f"({result.timing['max_frequency_mhz']:.0f} MHz)")
+    if args.emit_verilog and result.scfi.verilog:
         print()
-        print(result.verilog)
+        print(result.scfi.verilog)
     return 0
 
 

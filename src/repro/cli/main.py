@@ -1,0 +1,120 @@
+"""``scfi``: the unified front door of the SCFI reproduction.
+
+``scfi run experiment.json`` executes a serialized
+:class:`~repro.api.spec.ExperimentSpec` through the declarative API and emits
+the serializable :class:`~repro.api.session.ExperimentResult` as JSON --
+campaign counters, hardening summary and provenance (spec hash, engine,
+workers) included -- which is exactly what a distributed scheduler would do
+with the same file.  The classic subcommands (``harden``, ``fi``, ``report``)
+delegate to their dedicated CLIs, so ``scfi harden --fsm uart_rx`` equals
+``scfi-harden --fsm uart_rx``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.api import ExperimentSpec, Session
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scfi", description="SCFI reproduction: harden FSMs and run fault campaigns"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a JSON experiment spec end to end")
+    run.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the spec's campaign worker count (counters are "
+        "worker-count independent)",
+    )
+    run.add_argument(
+        "--out",
+        default=None,
+        help="write the result JSON here instead of stdout",
+    )
+    run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the progress/summary lines on stderr",
+    )
+
+    for name, help_text in (
+        ("harden", "protect an FSM (same flags as scfi-harden)"),
+        ("fi", "run a fault campaign (same flags as scfi-fi)"),
+        ("report", "regenerate paper artefacts (same flags as scfi-report)"),
+    ):
+        sub.add_parser(name, help=help_text, add_help=False)
+    return parser
+
+
+#: Subcommands delegated verbatim to their dedicated CLI mains.  Dispatched
+#: before argparse runs: REMAINDER cannot capture a leading option like
+#: ``--fsm`` (bpo-17050), and the delegates own their full flag surface.
+_DELEGATES = {
+    "harden": "repro.cli.harden",
+    "fi": "repro.cli.fault_campaign",
+    "report": "repro.cli.report",
+}
+
+
+def _run(args) -> int:
+    try:
+        spec = ExperimentSpec.load(args.spec)
+    # TypeError covers wrong-typed field values (e.g. "workers": "4"), which
+    # surface from the spec dataclasses' bounds checks.
+    except (OSError, ValueError, TypeError, json.JSONDecodeError) as error:
+        print(f"scfi run: cannot load spec {args.spec!r}: {error}", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("scfi run: --workers must be >= 1", file=sys.stderr)
+        return 2
+
+    def progress(stage: str, detail: str) -> None:
+        if not args.quiet:
+            print(f"[scfi] {stage}: {detail}", file=sys.stderr)
+
+    result = Session(progress=progress).run(spec, workers=args.workers)
+    if not args.quiet:
+        for campaign in result.campaigns.values():
+            print(f"[scfi] {campaign.format()}", file=sys.stderr)
+        if result.behavioral is not None:
+            print(f"[scfi] {result.behavioral.format()}", file=sys.stderr)
+
+    payload = json.dumps(result.to_dict(), indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+    else:
+        print(payload)
+
+    if not result.compare_agrees:
+        print(
+            f"scfi run: engine cross-check diverged "
+            f"({result.compare['engine']} vs {result.compare['oracle_engine']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in _DELEGATES:
+        import importlib
+
+        delegate = importlib.import_module(_DELEGATES[argv[0]])
+        return delegate.main(argv[1:])
+    args = build_parser().parse_args(argv)
+    return _run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -92,6 +92,28 @@ class ScfiResult:
     def num_diffusion_blocks(self) -> int:
         return self.hardened.layout.num_blocks
 
+    def to_dict(self, include_area: bool = True) -> dict:
+        """Plain JSON-able summary of the hardening (no netlist/enum payloads).
+
+        ``include_area`` skips the area report (which walks the whole gate
+        list) for callers that only need the behavioural summary or ran the
+        pass with ``generate_netlist=False``.
+        """
+        data = {
+            "fsm": self.fsm.name,
+            "protection_level": self.options.protection_level,
+            "error_bits": self.options.error_bits,
+            "num_states": self.fsm.num_states,
+            "state_width": self.hardened.state_width,
+            "control_codewords": len(self.hardened.control_encoding),
+            "control_width": self.hardened.control_width,
+            "diffusion_blocks": self.hardened.layout.num_blocks,
+            "area": None,
+        }
+        if include_area and self.structure is not None:
+            data["area"] = self.area.to_dict()
+        return data
+
 
 def protect_fsm(fsm: Fsm, options: Optional[ScfiOptions] = None) -> ScfiResult:
     """Protect ``fsm`` with SCFI and return the behavioural and structural views."""

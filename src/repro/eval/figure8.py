@@ -14,10 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.session import Session
+from repro.api.spec import CampaignSpec
 from repro.core.redundancy import RedundancyOptions, protect_fsm_redundant
 from repro.core.scfi import ScfiOptions, protect_fsm
 from repro.core.structure import ScfiNetlist
-from repro.fi.orchestrator import CampaignResult, ExhaustiveSingleFault, FaultCampaign
+from repro.fi.orchestrator import CampaignResult
 from repro.netlist.area import area_report
 from repro.netlist.celllib import CellLibrary, DEFAULT_LIBRARY
 from repro.netlist.generic import pad_netlist_to
@@ -160,8 +162,10 @@ def run_figure8(
     for configuration in configurations:
         netlist, structure = _module_netlist(model, configuration, protection_level, library)
         if verify_security and structure is not None:
-            with FaultCampaign(structure, workers=workers) as campaign:
-                result.security_checks[configuration] = campaign.run(ExhaustiveSingleFault())
+            diffusion_sweep = CampaignSpec(scenario="exhaustive", workers=workers)
+            result.security_checks[configuration] = Session().run_campaign(
+                structure, diffusion_sweep
+            )["exhaustive"]
         for period in clock_periods_ps:
             sized = size_for_period(netlist, float(period), library)
             result.points.append(

@@ -18,15 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
+from repro.api.session import Session
+from repro.api.spec import CampaignSpec
 from repro.core.hardened import HardenedFsm
 from repro.core.structure import ScfiNetlist
 from repro.fi.model import FaultEffect
-from repro.fi.orchestrator import (
-    DEFAULT_LANE_WIDTH,
-    CampaignResult,
-    FaultCampaign,
-    region_sweep_scenarios,
-)
+from repro.fi.orchestrator import DEFAULT_LANE_WIDTH, CampaignResult
 from repro.fi.behavioral import (
     TARGET_CONTROL,
     TARGET_DIFFUSION,
@@ -119,9 +116,20 @@ def structural_fault_target_sweep(
     dispatches the planned batches of every region to a process pool (shared
     across the regions of the sweep); counters are bit-identical to the
     single-process run.
+
+    This is a compatibility shim over the declarative API: the parameters are
+    lowered to a :class:`~repro.api.spec.CampaignSpec` (scenario
+    ``"regions"``) and executed through
+    :meth:`~repro.api.session.Session.run_campaign`.
     """
-    with FaultCampaign(structure, engine=engine, lane_width=lane_width, workers=workers) as campaign:
-        return campaign.run_sweep(region_sweep_scenarios(structure, effects=effects))
+    campaign = CampaignSpec(
+        scenario="regions",
+        effects=tuple(effect.value for effect in effects),
+        engine=engine,
+        lane_width=lane_width,
+        workers=workers,
+    )
+    return Session().run_campaign(structure, campaign)
 
 
 def fault_target_sweep(

@@ -13,9 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.session import Session
+from repro.api.spec import CampaignSpec
 from repro.core.redundancy import RedundancyOptions, protect_fsm_redundant
 from repro.core.scfi import ScfiOptions, protect_fsm
-from repro.fi.orchestrator import CampaignResult, ExhaustiveSingleFault, FaultCampaign
+from repro.fi.orchestrator import CampaignResult
 from repro.netlist.area import area_report
 from repro.netlist.celllib import CellLibrary, DEFAULT_LIBRARY
 from repro.synth.flow import ModuleModel
@@ -173,7 +175,11 @@ def run_table1(
             row.scfi_fsm_ge[level] = scfi_ge
             row.scfi_overhead[level] = 100.0 * (scfi_ge - unprotected_ge) / model.module_area_ge
             if verify_security:
-                with FaultCampaign(scfi.structure, workers=workers) as campaign:
-                    row.scfi_security[level] = campaign.run(ExhaustiveSingleFault())
+                # One declarative campaign spec per SCFI configuration: the
+                # exhaustive diffusion sweep on the default parallel engine.
+                diffusion_sweep = CampaignSpec(scenario="exhaustive", workers=workers)
+                row.scfi_security[level] = Session().run_campaign(
+                    scfi.structure, diffusion_sweep
+                )["exhaustive"]
         rows.append(row)
     return Table1Result(rows=rows, protection_levels=list(protection_levels))

@@ -66,6 +66,21 @@ class BehavioralCampaignResult:
     def redirection_rate(self) -> float:
         return self.redirected / self.trials if self.trials else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-able form (counters and rates, no enums)."""
+        return {
+            "name": self.name,
+            "num_faults": self.num_faults,
+            "trials": self.trials,
+            "masked": self.masked,
+            "detected": self.detected,
+            "redirected": self.redirected,
+            "hijacked": self.hijacked,
+            "hijack_rate": self.hijack_rate,
+            "detection_rate": self.detection_rate,
+            "redirection_rate": self.redirection_rate,
+        }
+
     def format(self) -> str:
         return (
             f"{self.name}: {self.trials} trials with {self.num_faults} fault(s) -> "

@@ -161,6 +161,40 @@ class CampaignResult:
         """(masked, detected, redirected, hijacked) -- for oracle comparisons."""
         return (self.masked, self.detected, self.redirected, self.hijacked)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-able form: counters, rates and (when kept) outcomes.
+
+        Enums are lowered to their wire values -- faults as ``[net, effect]``
+        pairs and classifications as strings, the same compact conventions the
+        process-pool wire format uses -- so results persist without pickling.
+        """
+        data: Dict[str, object] = {
+            "name": self.name,
+            "total_injections": self.total_injections,
+            "masked": self.masked,
+            "detected": self.detected,
+            "redirected": self.redirected,
+            "hijacked": self.hijacked,
+            "transitions_evaluated": self.transitions_evaluated,
+            "target_nets": self.target_nets,
+            "hijack_rate": self.hijack_rate,
+            "detection_rate": self.detection_rate,
+            "undetected_deviation_rate": self.undetected_deviation_rate,
+        }
+        if self.keep_outcomes:
+            data["outcomes"] = [
+                {
+                    "faults": [[fault.net, fault.effect.value] for fault in outcome.faults],
+                    "source_state": outcome.source_state,
+                    "expected_state": outcome.expected_state,
+                    "observed_code": outcome.observed_code,
+                    "observed_state": outcome.observed_state,
+                    "classification": outcome.classification.value,
+                }
+                for outcome in self.outcomes
+            ]
+        return data
+
     def format(self) -> str:
         return (
             f"{self.name}: {self.total_injections} injections over "

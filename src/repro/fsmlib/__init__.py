@@ -14,8 +14,13 @@ from repro.fsmlib.opentitan import (
 )
 from repro.fsmlib.formal import formal_analysis_fsm
 from repro.fsmlib.tutorial import traffic_light_fsm, uart_rx_fsm, spi_master_fsm
+from repro.fsmlib.registry import FSM_REGISTRY, available_fsms, get_fsm, register_fsm
 
 __all__ = [
+    "FSM_REGISTRY",
+    "available_fsms",
+    "get_fsm",
+    "register_fsm",
     "OPENTITAN_MODULE_AREAS_GE",
     "adc_ctrl_fsm",
     "aes_control_fsm",

@@ -1,0 +1,86 @@
+"""The shared benchmark-FSM registry.
+
+Historically ``cli/harden.py`` owned a ``FSM_REGISTRY`` dict that
+``cli/fault_campaign.py`` imported, so adding a benchmark meant editing CLI
+code and any library front door (``repro.api``) had no registry at all.  This
+module is now the single source of truth: both CLIs, the declarative
+:mod:`repro.api` spec layer and any future frontend resolve FSM names here,
+and :func:`register_fsm` lets downstream code (tests, notebooks, plugins)
+publish additional machines without touching the package.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.fsm.model import Fsm
+from repro.fsmlib.formal import formal_analysis_fsm
+from repro.fsmlib.opentitan import (
+    adc_ctrl_fsm,
+    aes_control_fsm,
+    i2c_fsm,
+    ibex_controller_fsm,
+    ibex_lsu_fsm,
+    otbn_controller_fsm,
+    pwrmgr_fsm,
+)
+from repro.fsmlib.tutorial import spi_master_fsm, traffic_light_fsm, uart_rx_fsm
+
+FsmFactory = Callable[[], Fsm]
+
+#: name -> zero-argument factory producing a fresh :class:`~repro.fsm.model.Fsm`.
+#: Mutated only through :func:`register_fsm`; both CLIs alias this dict, so
+#: late registrations show up in their ``--fsm`` choices too.
+FSM_REGISTRY: Dict[str, FsmFactory] = {
+    "adc_ctrl_fsm": adc_ctrl_fsm,
+    "aes_control": aes_control_fsm,
+    "i2c_fsm": i2c_fsm,
+    "ibex_controller": ibex_controller_fsm,
+    "ibex_lsu": ibex_lsu_fsm,
+    "otbn_controller": otbn_controller_fsm,
+    "pwrmgr_fsm": pwrmgr_fsm,
+    "formal_fsm": formal_analysis_fsm,
+    "traffic_light": traffic_light_fsm,
+    "uart_rx": uart_rx_fsm,
+    "spi_master": spi_master_fsm,
+}
+
+
+def register_fsm(
+    name: str, factory: Optional[FsmFactory] = None, *, overwrite: bool = False
+):
+    """Register an FSM factory under ``name`` (also usable as a decorator).
+
+    ``register_fsm("mine", build_mine)`` registers directly;
+    ``@register_fsm("mine")`` decorates a factory function.  Re-registering an
+    existing name raises unless ``overwrite=True`` -- silently shadowing a
+    benchmark would corrupt every spec that names it.
+    """
+
+    def _register(fn: FsmFactory) -> FsmFactory:
+        if not name:
+            raise ValueError("FSM registry names must be non-empty")
+        if not overwrite and name in FSM_REGISTRY:
+            raise ValueError(f"FSM {name!r} is already registered (pass overwrite=True)")
+        FSM_REGISTRY[name] = fn
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def get_fsm(name: str) -> Fsm:
+    """Build a fresh instance of the registered FSM ``name``."""
+    try:
+        factory = FSM_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown FSM {name!r}; registered: {', '.join(sorted(FSM_REGISTRY))}"
+        ) from None
+    return factory()
+
+
+def available_fsms() -> List[str]:
+    """The registered FSM names, sorted (the CLIs' ``--fsm`` choices)."""
+    return sorted(FSM_REGISTRY)

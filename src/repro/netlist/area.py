@@ -31,6 +31,15 @@ class AreaReport:
     def sequential_ge(self) -> float:
         return self.by_cell_type.get(GateType.DFF.value, 0.0)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-able form (used by the ``repro.api`` result bundles)."""
+        return {
+            "netlist_name": self.netlist_name,
+            "total_ge": self.total_ge,
+            "by_cell_type": dict(self.by_cell_type),
+            "cell_counts": dict(self.cell_counts),
+        }
+
     def format(self) -> str:
         lines = [f"Area report for {self.netlist_name}: {self.total_ge:.1f} GE"]
         for cell_type in sorted(self.by_cell_type):

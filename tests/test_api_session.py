@@ -1,0 +1,277 @@
+"""Session execution: registry resolution, engine equality, serializable results."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    CampaignSpec,
+    ExperimentSpec,
+    FsmSpec,
+    ProtectSpec,
+    ReportSpec,
+    Session,
+    available_engines,
+    available_scenarios,
+    register_engine,
+    register_scenario,
+)
+from repro.api.registry import ENGINE_REGISTRY, SCENARIO_REGISTRY
+from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.fi.orchestrator import ExhaustiveSingleFault, FaultCampaign
+from repro.fsm.encoding import binary_encoding
+from repro.fsmlib import FSM_REGISTRY, register_fsm, traffic_light_fsm
+from repro.rtl.verilog_writer import emit_fsm
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def exhaustive_spec(**campaign) -> ExperimentSpec:
+    return ExperimentSpec(
+        fsm=FsmSpec(name="traffic_light"),
+        protect=ProtectSpec(protection_level=2),
+        campaign=CampaignSpec(**{"scenario": "exhaustive", **campaign}),
+    )
+
+
+class TestSessionRun:
+    def test_counters_match_legacy_invocation_on_every_engine(self):
+        """Spec-driven runs reproduce the direct-FaultCampaign counters bit
+        for bit on all three engines (the acceptance criterion)."""
+        legacy_scfi = protect_fsm(
+            traffic_light_fsm(), ScfiOptions(protection_level=2, generate_verilog=False)
+        )
+        for engine in FaultCampaign.ENGINES:
+            with FaultCampaign(legacy_scfi.structure, engine=engine) as legacy:
+                reference = legacy.run(ExhaustiveSingleFault())
+            result = Session().run(exhaustive_spec(engine=engine))
+            assert result.campaigns["exhaustive"].counters() == reference.counters()
+            assert result.campaigns["exhaustive"].total_injections == reference.total_injections
+
+    def test_progress_callback_sees_every_stage(self):
+        events = []
+        Session(progress=lambda stage, detail: events.append(stage)).run(exhaustive_spec())
+        assert events[0] == "resolve"
+        assert "harden" in events
+        assert "campaign" in events
+        assert events[-1] == "done"
+
+    def test_spec_hash_recorded(self):
+        spec = exhaustive_spec()
+        result = Session().run(spec)
+        assert result.spec_hash == spec.content_hash()
+
+    def test_workers_override_stays_out_of_spec_and_hash(self):
+        """A runtime workers override is provenance, not experiment identity:
+        the submitted spec and its hash must not drift."""
+        spec = exhaustive_spec()
+        result = Session().run(spec, workers=2)
+        assert result.spec == spec
+        assert result.spec_hash == spec.content_hash()
+        assert result.overrides == {"workers": 2}
+        assert result.provenance()["workers"] == 2
+        baseline = Session().run(spec)
+        assert baseline.overrides == {}
+        assert result.campaigns["exhaustive"].counters() == baseline.campaigns[
+            "exhaustive"
+        ].counters()
+
+    def test_behavioral_scenario_runs_pre_netlist(self):
+        spec = ExperimentSpec(
+            fsm=FsmSpec(name="traffic_light"),
+            campaign=CampaignSpec(scenario="behavioral", faults=1, trials=25, seed=3),
+        )
+        result = Session().run(spec)
+        assert result.behavioral is not None
+        assert result.behavioral.trials == 25
+        assert not result.campaigns
+        assert result.provenance()["scenario"] == "behavioral"
+
+    def test_compare_records_agreement(self):
+        result = Session().run(exhaustive_spec(compare=True))
+        assert result.compare is not None
+        assert result.compare["agree"] is True
+        assert result.compare_agrees
+        assert result.compare["oracle_engine"] == "scalar"
+        verdict = result.compare["scenarios"]["exhaustive"]
+        assert verdict["engine_counters"] == verdict["oracle_counters"]
+
+    def test_inline_verilog_fsm_resolves(self, traffic_light):
+        source = emit_fsm(traffic_light, binary_encoding(traffic_light.states), 2)
+        spec = ExperimentSpec(
+            fsm=FsmSpec(verilog=source),
+            campaign=CampaignSpec(scenario="exhaustive"),
+        )
+        result = Session().run(spec)
+        assert result.campaigns["exhaustive"].total_injections > 0
+
+    def test_unknown_fsm_name_raises(self):
+        with pytest.raises(KeyError, match="no_such_fsm"):
+            Session().run(
+                ExperimentSpec(fsm=FsmSpec(name="no_such_fsm"))
+            )
+
+    def test_unknown_scenario_and_engine_raise(self):
+        with pytest.raises(ValueError, match="scenario"):
+            Session().run(exhaustive_spec(scenario="meltdown"))
+        with pytest.raises(ValueError, match="engine"):
+            Session().run(exhaustive_spec(engine="quantum"))
+
+    def test_behavioral_through_run_campaign_explains_itself(self, protected_traffic_light):
+        with pytest.raises(ValueError, match="Session.run"):
+            Session().run_campaign(
+                protected_traffic_light.structure, CampaignSpec(scenario="behavioral")
+            )
+
+
+class TestExperimentResultDict:
+    def test_result_serializes_to_plain_json(self):
+        result = Session().run(exhaustive_spec(compare=True))
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["spec_hash"] == result.spec_hash
+        assert data["provenance"]["engine"] == "parallel"
+        assert data["provenance"]["workers"] == 1
+        assert data["harden"]["fsm"] == "traffic_light"
+        assert data["harden"]["area"]["total_ge"] > 0
+        assert data["campaigns"]["exhaustive"]["hijacked"] == 0
+        assert data["compare"]["agree"] is True
+
+    def test_keep_outcomes_serialized_without_enums(self):
+        spec = ExperimentSpec(
+            fsm=FsmSpec(name="traffic_light"),
+            campaign=CampaignSpec(scenario="exhaustive"),
+            report=ReportSpec(keep_outcomes=True),
+        )
+        result = Session().run(spec)
+        data = json.loads(json.dumps(result.to_dict()))
+        outcomes = data["campaigns"]["exhaustive"]["outcomes"]
+        assert len(outcomes) == data["campaigns"]["exhaustive"]["total_injections"]
+        first = outcomes[0]
+        assert first["classification"] in {"masked", "detected", "redirected", "hijack"}
+        assert first["faults"][0][1] == "flip"
+
+    def test_timing_included_on_request(self):
+        spec = ExperimentSpec(
+            fsm=FsmSpec(name="traffic_light"),
+            report=ReportSpec(include_timing=True),
+        )
+        data = Session().run(spec).to_dict()
+        assert data["harden"]["timing"]["min_clock_period_ps"] > 0
+
+
+class TestCommittedExample:
+    def test_example_spec_replays_to_golden_counters(self):
+        """The committed examples/experiment.json must keep producing the
+        committed golden counters through the library API."""
+        spec = ExperimentSpec.load(EXAMPLES / "experiment.json")
+        golden = json.loads((EXAMPLES / "experiment.golden.json").read_text())
+        assert spec.content_hash() == golden["spec_hash"]
+        result = Session().run(spec)
+        emitted = result.to_dict()["campaigns"]
+        assert set(emitted) == set(golden["campaigns"])
+        for name, expected in golden["campaigns"].items():
+            for key, value in expected.items():
+                assert emitted[name][key] == value, (name, key)
+
+    def test_example_spec_counters_identical_on_every_engine(self):
+        spec = ExperimentSpec.load(EXAMPLES / "experiment.json")
+        golden = json.loads((EXAMPLES / "experiment.golden.json").read_text())
+        for engine in FaultCampaign.ENGINES:
+            result = Session().run(spec.with_overrides(engine=engine))
+            for name, expected in golden["campaigns"].items():
+                counters = result.campaigns[name].counters()
+                assert counters == (
+                    expected["masked"],
+                    expected["detected"],
+                    expected["redirected"],
+                    expected["hijacked"],
+                ), (engine, name)
+
+    def test_example_spec_matches_legacy_orchestrator_invocation(self):
+        """The committed example reproduces the pre-API code path (direct
+        protect_fsm + FaultCampaign effect sweep) counter for counter."""
+        from repro.fi.orchestrator import effect_sweep_scenarios
+
+        spec = ExperimentSpec.load(EXAMPLES / "experiment.json")
+        legacy_scfi = protect_fsm(
+            traffic_light_fsm(), ScfiOptions(protection_level=2, generate_verilog=False)
+        )
+        for engine in FaultCampaign.ENGINES:
+            with FaultCampaign(legacy_scfi.structure, engine=engine) as legacy:
+                references = legacy.run_sweep(
+                    effect_sweep_scenarios(target_nets="diffusion")
+                )
+            result = Session().run(spec.with_overrides(engine=engine))
+            assert set(result.campaigns) == set(references)
+            for name, reference in references.items():
+                assert result.campaigns[name].counters() == reference.counters(), (
+                    engine,
+                    name,
+                )
+
+
+class TestRegistries:
+    def test_default_engines_track_fault_campaign(self):
+        assert set(available_engines()) == set(FaultCampaign.ENGINES)
+
+    def test_default_scenarios(self):
+        assert {"exhaustive", "random", "effects", "regions", "behavioral"} <= set(
+            available_scenarios()
+        )
+
+    def test_register_fsm_visible_to_specs(self):
+        register_fsm("api_test_fsm", traffic_light_fsm)
+        try:
+            result = Session().run(
+                ExperimentSpec(
+                    fsm=FsmSpec(name="api_test_fsm"),
+                    campaign=CampaignSpec(scenario="exhaustive"),
+                )
+            )
+            assert result.campaigns["exhaustive"].total_injections > 0
+        finally:
+            del FSM_REGISTRY["api_test_fsm"]
+
+    def test_register_fsm_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_fsm("traffic_light", traffic_light_fsm)
+
+    def test_register_scenario_resolves(self):
+        register_scenario(
+            "api_test_scenario",
+            lambda spec, structure: {
+                "custom": ExhaustiveSingleFault(target_nets="diffusion")
+            },
+        )
+        try:
+            result = Session().run(exhaustive_spec(scenario="api_test_scenario"))
+            assert set(result.campaigns) == {"custom"}
+        finally:
+            del SCENARIO_REGISTRY["api_test_scenario"]
+
+    def test_register_engine_resolves(self):
+        calls = []
+
+        def factory(structure, lane_width, workers, keep_outcomes, pack_contexts):
+            calls.append((lane_width, workers))
+            return FaultCampaign(
+                structure,
+                engine="parallel",
+                lane_width=lane_width,
+                workers=workers,
+                keep_outcomes=keep_outcomes,
+                pack_contexts=pack_contexts,
+            )
+
+        register_engine("api_test_engine", factory)
+        try:
+            result = Session().run(exhaustive_spec(engine="api_test_engine", lane_width=32))
+            assert calls == [(32, 1)]
+            assert result.campaigns["exhaustive"].hijacked == 0
+        finally:
+            del ENGINE_REGISTRY["api_test_engine"]
+
+    def test_register_engine_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine("parallel", lambda *a, **k: None)

@@ -1,0 +1,138 @@
+"""Spec round-trips: to_dict/from_dict identity, stable hashes, validation."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    CampaignSpec,
+    ExperimentSpec,
+    FsmSpec,
+    ProtectSpec,
+    ReportSpec,
+)
+from repro.api.spec import SPEC_VERSION
+
+
+def full_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        fsm=FsmSpec(name="traffic_light"),
+        protect=ProtectSpec(protection_level=3, error_bits=2),
+        campaign=CampaignSpec(
+            scenario="random",
+            target="comb",
+            effects=("flip", "stuck1"),
+            faults=2,
+            trials=40,
+            seed=7,
+            engine="scalar",
+            lane_width=64,
+            workers=2,
+            compare=True,
+        ),
+        report=ReportSpec(keep_outcomes=True, include_timing=True),
+    )
+
+
+class TestRoundTrip:
+    def test_from_dict_to_dict_identity(self):
+        spec = full_spec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_without_campaign(self):
+        spec = ExperimentSpec(fsm=FsmSpec(name="uart_rx"))
+        clone = ExperimentSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.campaign is None
+
+    def test_json_round_trip(self):
+        spec = full_spec()
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = full_spec()
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ExperimentSpec.load(path) == spec
+
+    def test_explicit_net_list_target_round_trips(self):
+        spec = ExperimentSpec(
+            fsm=FsmSpec(name="traffic_light"),
+            campaign=CampaignSpec(scenario="exhaustive", target=["n1", "n2"]),
+        )
+        clone = ExperimentSpec.from_dict(json.loads(spec.to_json()))
+        assert clone.campaign.target == ("n1", "n2")
+        assert clone == spec
+
+    def test_missing_sections_get_defaults(self):
+        spec = ExperimentSpec.from_dict({"fsm": {"name": "uart_rx"}})
+        assert spec.protect == ProtectSpec()
+        assert spec.report == ReportSpec()
+        assert spec.campaign is None
+
+
+class TestContentHash:
+    def test_hash_stable_across_dict_ordering(self):
+        spec = full_spec()
+        data = spec.to_dict()
+        # Reverse every key order; a canonical hash must not notice.
+        shuffled = json.loads(
+            json.dumps({k: data[k] for k in reversed(list(data))})
+        )
+        shuffled["campaign"] = {
+            k: data["campaign"][k] for k in reversed(list(data["campaign"]))
+        }
+        assert ExperimentSpec.from_dict(shuffled).content_hash() == spec.content_hash()
+
+    def test_hash_changes_with_content(self):
+        spec = full_spec()
+        assert spec.content_hash() != spec.with_overrides(seed=8).content_hash()
+
+    def test_hash_is_hex_sha256(self):
+        digest = full_spec().content_hash()
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestValidation:
+    def test_fsm_spec_needs_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            FsmSpec()
+        with pytest.raises(ValueError):
+            FsmSpec(name="x", verilog="module m; endmodule")
+
+    def test_unknown_keys_rejected(self):
+        data = full_spec().to_dict()
+        data["campaign"]["lane_widht"] = data["campaign"].pop("lane_width")
+        with pytest.raises(ValueError, match="lane_widht"):
+            ExperimentSpec.from_dict(data)
+
+    def test_unknown_effect_rejected(self):
+        with pytest.raises(ValueError, match="melt"):
+            CampaignSpec(effects=("melt",))
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(lane_width=0)
+        with pytest.raises(ValueError):
+            CampaignSpec(workers=0)
+        with pytest.raises(ValueError):
+            CampaignSpec(faults=0)
+        with pytest.raises(ValueError):
+            ProtectSpec(protection_level=0)
+
+    def test_future_version_rejected(self):
+        data = full_spec().to_dict()
+        data["version"] = SPEC_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            ExperimentSpec.from_dict(data)
+
+    def test_override_without_campaign_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(fsm=FsmSpec(name="uart_rx")).with_overrides(workers=2)
+
+    def test_with_overrides_replaces_campaign_fields(self):
+        spec = full_spec().with_overrides(workers=4, engine="parallel")
+        assert spec.campaign.workers == 4
+        assert spec.campaign.engine == "parallel"
+        assert spec.campaign.trials == full_spec().campaign.trials

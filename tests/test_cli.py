@@ -1,10 +1,16 @@
 """Tests for the command-line entry points."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli.fault_campaign import main as fi_main
 from repro.cli.harden import FSM_REGISTRY, main as harden_main
+from repro.cli.main import main as scfi_main
 from repro.cli.report import main as report_main
+
+EXAMPLE_SPEC = Path(__file__).resolve().parent.parent / "examples" / "experiment.json"
 
 
 class TestHardenCli:
@@ -176,6 +182,94 @@ class TestFaultCampaignCli:
         exit_code = fi_main(
             ["--fsm", "traffic_light", "--mode", "exhaustive", "--engine", "scalar", "--target", "comb"]
         )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "injections" in captured.out
+
+    def test_compare_divergence_exits_non_zero(self, capsys, monkeypatch):
+        """An engine cross-check mismatch must fail the invocation, not just
+        print it."""
+        from repro.api.session import Session
+
+        def fake_cross_check(self, structure, campaign, results):
+            return {
+                "engine": campaign.engine,
+                "oracle_engine": "scalar",
+                "agree": False,
+                "scenarios": {
+                    "exhaustive": {
+                        "agree": False,
+                        "engine_counters": [0, 84, 0, 0],
+                        "oracle_counters": [1, 83, 0, 0],
+                    }
+                },
+            }
+
+        monkeypatch.setattr(Session, "_cross_check", fake_cross_check)
+        exit_code = fi_main(["--fsm", "traffic_light", "--mode", "exhaustive", "--compare"])
+        captured = capsys.readouterr()
+        assert exit_code != 0
+        assert "ENGINE MISMATCH" in captured.err
+        assert "engines agree" not in captured.out
+
+
+class TestScfiRunCli:
+    def test_run_example_spec_emits_result_json(self, capsys):
+        exit_code = scfi_main(["run", str(EXAMPLE_SPEC), "--quiet"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        result = json.loads(captured.out)
+        assert result["spec"]["fsm"]["name"] == "traffic_light"
+        assert result["campaigns"]["flip"]["hijacked"] == 0
+        assert result["provenance"]["engine"] == "parallel"
+
+    def test_run_writes_out_file_and_reports_progress(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        exit_code = scfi_main(["run", str(EXAMPLE_SPEC), "--out", str(out)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[scfi] harden" in captured.err
+        result = json.loads(out.read_text())
+        assert result["campaigns"]["flip"]["total_injections"] > 0
+
+    def test_run_workers_override_recorded_in_provenance(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        exit_code = scfi_main(
+            ["run", str(EXAMPLE_SPEC), "--quiet", "--workers", "1", "--out", str(out)]
+        )
+        assert exit_code == 0
+        assert json.loads(out.read_text())["provenance"]["workers"] == 1
+
+    def test_run_missing_spec_fails_cleanly(self, capsys):
+        exit_code = scfi_main(["run", "/does/not/exist.json", "--quiet"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot load spec" in captured.err
+
+    def test_run_rejects_wrong_typed_spec_values(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"fsm": {"name": "traffic_light"}, "campaign": {"workers": "4"}})
+        )
+        exit_code = scfi_main(["run", str(bad), "--quiet"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot load spec" in captured.err
+
+    def test_run_rejects_bad_spec_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"fsm": {"name": "traffic_light"}, "campain": {}}))
+        exit_code = scfi_main(["run", str(bad), "--quiet"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "campain" in captured.err
+
+    def test_delegating_subcommands(self, capsys):
+        exit_code = scfi_main(["harden", "--fsm", "traffic_light"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Protected 'traffic_light'" in captured.out
+        exit_code = scfi_main(["fi", "--fsm", "traffic_light", "--mode", "exhaustive"])
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "injections" in captured.out
