@@ -14,16 +14,27 @@ Three enforced floors:
   comb-cloud campaign at least 2x faster than single-process (ISSUE 4
   tentpole), with bit-identical counters.  The timing assertion is skipped
   on machines with fewer than two usable CPUs -- a process pool cannot beat
-  single-process on one core -- but the counter equality always runs.
+  single-process on one core -- but the counter equality always runs; and
+* the word-sliced numpy engine must run a wide (>= 1024-lane) all-effects
+  comb-cloud campaign at least 3x faster than ``parallel-compiled`` (ISSUE 6
+  tentpole), again with bit-identical counters always asserted and the
+  timing floor skipped on single-core runners.
 
 Shared CI runners are noisy, so every floor can be overridden per run via
 environment variables (``BENCH_MIN_SPEEDUP``,
-``BENCH_MIN_CONTEXT_PACKING_SPEEDUP``, ``BENCH_MIN_WORKERS_SPEEDUP``); the
-defaults below are the enforced values and CI pins them explicitly.
+``BENCH_MIN_CONTEXT_PACKING_SPEEDUP``, ``BENCH_MIN_WORKERS_SPEEDUP``,
+``BENCH_MIN_NUMPY_SPEEDUP``); the defaults below are the enforced values and
+CI pins them explicitly.
+
+The numpy benchmark additionally emits a machine-readable
+``BENCH_parallel.json`` (per-engine wall times and speedups; path
+overridable via ``BENCH_PARALLEL_JSON``) so the perf trajectory is tracked
+across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
@@ -67,8 +78,15 @@ MIN_CONTEXT_PACKING_SPEEDUP = _env_floor("BENCH_MIN_CONTEXT_PACKING_SPEEDUP", 2.
 #: comb-cloud campaign (ISSUE 4 acceptance criterion).
 MIN_WORKERS_SPEEDUP = _env_floor("BENCH_MIN_WORKERS_SPEEDUP", 2.0)
 
+#: Required speedup of the word-sliced numpy engine over parallel-compiled
+#: on a wide (>= 1024-lane) campaign (ISSUE 6 acceptance criterion).
+MIN_NUMPY_SPEEDUP = _env_floor("BENCH_MIN_NUMPY_SPEEDUP", 3.0)
+
 #: Worker processes of the sharded benchmark case.
 BENCH_WORKERS = 4
+
+#: Machine-readable per-engine timing record emitted by the numpy benchmark.
+BENCH_JSON_PATH = os.environ.get("BENCH_PARALLEL_JSON", "").strip() or "BENCH_parallel.json"
 
 
 def _usable_cpus() -> int:
@@ -211,6 +229,88 @@ def test_bench_process_sharded_comb_cloud(benchmark, once, ibex_structure):
 
     assert speedup >= MIN_WORKERS_SPEEDUP, (
         f"process-sharded speedup {speedup:.1f}x below {MIN_WORKERS_SPEEDUP}x"
+    )
+
+
+def test_bench_numpy_wide_campaign(benchmark, once):
+    """The word-sliced numpy engine must beat parallel-compiled 3x on a wide
+    campaign (ISSUE 6 tentpole).
+
+    The workload is an exhaustive all-effects comb-cloud sweep over a
+    16-state random controller (~96k injections): at the numpy engine's
+    default 4096-lane budget every batch fills past the 1024-lane acceptance
+    threshold, while the bignum engines run at their own default 256 lanes
+    (their best configuration -- bignum per-pass cost grows with lane count).
+    Counter equality across parallel / parallel-compiled / parallel-numpy is
+    asserted on every machine; the timing floor is skipped on single-core
+    runners where shared-runner noise dominates sub-second timings.  Either
+    way the measured wall times land in ``BENCH_parallel.json``.
+    """
+    from repro.fsm.random_fsm import random_fsm
+
+    structure = protect_fsm(
+        random_fsm(5, num_states=16), ScfiOptions(protection_level=2, generate_verilog=False)
+    ).structure
+    scenario = ExhaustiveSingleFault(
+        target_nets="comb",
+        effects=(FaultEffect.TRANSIENT_FLIP, FaultEffect.STUCK_AT_0, FaultEffect.STUCK_AT_1),
+    )
+
+    def best_of(campaign, reps):
+        campaign.run(scenario)  # warm compiled netlist, plan cache, contexts
+        best = float("inf")
+        result = None
+        for _ in range(reps):
+            start = time.perf_counter()
+            result = campaign.run(scenario)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    times, results = {}, {}
+    times["parallel"], results["parallel"] = best_of(FaultCampaign(structure), reps=2)
+    times["parallel-compiled"], results["parallel-compiled"] = best_of(
+        FaultCampaign(structure, engine="parallel-compiled"), reps=2
+    )
+    numpy_campaign = FaultCampaign(structure, engine="parallel-numpy")
+    once(benchmark, numpy_campaign.run, scenario)
+    times["parallel-numpy"], results["parallel-numpy"] = best_of(numpy_campaign, reps=5)
+    assert numpy_campaign.lane_width >= 1024, "wide-campaign case must use >= 1024 lanes"
+
+    speedup = times["parallel-compiled"] / max(times["parallel-numpy"], 1e-9)
+    print()
+    for name, seconds in times.items():
+        print(f"  {name:<18} {seconds * 1e3:8.1f} ms  {results[name].format()}")
+    print(f"  numpy speedup: {speedup:.1f}x over parallel-compiled "
+          f"({results['parallel-numpy'].total_injections} injections, "
+          f"{numpy_campaign.lane_width} lanes)")
+
+    record = {
+        "case": "numpy_wide_campaign",
+        "netlist": structure.netlist.name,
+        "total_injections": results["parallel-numpy"].total_injections,
+        "numpy_lane_width": numpy_campaign.lane_width,
+        "engines": {name: {"seconds": seconds} for name, seconds in times.items()},
+        "speedups": {
+            "parallel-numpy/parallel-compiled": speedup,
+            "parallel-numpy/parallel": times["parallel"] / max(times["parallel-numpy"], 1e-9),
+        },
+        "floor": MIN_NUMPY_SPEEDUP,
+        "usable_cpus": _usable_cpus(),
+    }
+    with open(BENCH_JSON_PATH, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    oracle = results["parallel"].counters()
+    for name in ("parallel-compiled", "parallel-numpy"):
+        assert results[name].counters() == oracle, f"{name} disagrees with parallel"
+        assert results[name].total_injections == results["parallel"].total_injections
+
+    cpus = _usable_cpus()
+    if cpus < 2:
+        pytest.skip(f"timing floor needs >= 2 usable CPUs, found {cpus} (counters verified)")
+    assert speedup >= MIN_NUMPY_SPEEDUP, (
+        f"numpy engine speedup {speedup:.1f}x below {MIN_NUMPY_SPEEDUP}x"
     )
 
 

@@ -33,7 +33,7 @@ from repro.api.spec import SPEC_VERSION, CampaignSpec, ExperimentSpec, ReportSpe
 from repro.core.scfi import ScfiResult, protect_fsm
 from repro.core.structure import ScfiNetlist
 from repro.fi.behavioral import BehavioralCampaignResult, behavioral_fault_campaign
-from repro.fi.orchestrator import CampaignResult
+from repro.fi.orchestrator import ENGINE_INFO, CampaignResult
 
 #: Progress callback: ``(stage, detail)`` -- e.g. ``("campaign", "exhaustive")``.
 ProgressCallback = Callable[[str, str], None]
@@ -69,17 +69,29 @@ class ExperimentResult:
         return self.compare is None or bool(self.compare["agree"])
 
     def provenance(self) -> Optional[Dict[str, Any]]:
-        """How the campaign was executed (None for pure hardening runs)."""
+        """How the campaign was executed (None for pure hardening runs).
+
+        Records the *effective* engine and lane budget: run-time overrides
+        applied, a ``lane_width`` of ``None`` resolved through the engine's
+        registered default, and the engine's machine word width (``None`` for
+        the arbitrary-precision bignum engines, 64 for ``parallel-numpy``).
+        """
         campaign = self.spec.campaign
         if campaign is None:
             return None
         if campaign.scenario == BEHAVIORAL:
-            return {"scenario": BEHAVIORAL, "engine": None, "lane_width": None,
-                    "workers": 1, "pack_contexts": None}
+            return {"scenario": BEHAVIORAL, "engine": None, "engine_word_width": None,
+                    "lane_width": None, "workers": 1, "pack_contexts": None}
+        engine = self.overrides.get("engine", campaign.engine)
+        info = ENGINE_INFO.get(engine)
+        lane_width = campaign.lane_width
+        if lane_width is None and info is not None:
+            lane_width = info.default_lane_width
         return {
             "scenario": campaign.scenario,
-            "engine": campaign.engine,
-            "lane_width": campaign.lane_width,
+            "engine": engine,
+            "engine_word_width": info.word_width if info is not None else None,
+            "lane_width": lane_width,
             "workers": self.overrides.get("workers", campaign.workers),
             "pack_contexts": campaign.pack_contexts,
         }
@@ -122,17 +134,19 @@ class Session:
         *,
         fsm=None,
         workers: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> ExperimentResult:
         """Execute one spec end to end.
 
-        ``workers`` overrides the campaign's worker count (the ``scfi run
-        --workers`` escape hatch; classification counters are worker-count
-        independent by construction).  The override never enters the spec or
-        its hash -- ``spec_hash`` identifies the submitted experiment while
-        :meth:`ExperimentResult.provenance` records the effective worker
-        count.  ``fsm`` lets trusted library callers that already hold the
-        resolved :class:`~repro.fsm.model.Fsm` skip the registry lookup; the
-        spec must still describe the same machine, since it is what gets
+        ``workers`` overrides the campaign's worker count and ``engine`` the
+        evaluation engine (the ``scfi run --workers``/``--engine`` escape
+        hatches; classification counters are worker-count and engine
+        independent by construction).  Overrides never enter the spec or its
+        hash -- ``spec_hash`` identifies the submitted experiment while
+        :meth:`ExperimentResult.provenance` records the effective execution
+        parameters.  ``fsm`` lets trusted library callers that already hold
+        the resolved :class:`~repro.fsm.model.Fsm` skip the registry lookup;
+        the spec must still describe the same machine, since it is what gets
         hashed and persisted.
         """
         spec_hash = spec.content_hash()
@@ -141,6 +155,9 @@ class Session:
         if workers is not None and effective is not None and workers != effective.workers:
             overrides["workers"] = workers
             effective = spec.with_overrides(workers=workers).campaign
+        if engine is not None and effective is not None and engine != effective.engine:
+            overrides["engine"] = engine
+            effective = replace(effective, engine=engine)
 
         self._emit("resolve", spec.fsm.name or "<inline verilog>")
         if fsm is None:

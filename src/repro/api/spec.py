@@ -24,7 +24,6 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from repro.fi.model import FaultEffect
-from repro.fi.orchestrator import DEFAULT_LANE_WIDTH
 
 #: Bumped whenever the on-disk spec format changes incompatibly.
 SPEC_VERSION = 1
@@ -139,8 +138,11 @@ class CampaignSpec:
     ``FaultCampaign.ENGINES``).  ``target``/``effects``/``faults``/``trials``/
     ``seed`` parameterize the scenario with the same defaults the historical
     ``scfi-fi`` modes used, so spec-driven runs reproduce legacy counters bit
-    for bit.  ``compare=True`` additionally replays the campaign on the
-    cross-check engine and records whether the counters agree.
+    for bit.  ``lane_width=None`` (the default) resolves to the engine's own
+    default lane budget at run time (256 for the bignum engines, 4096 for
+    ``parallel-numpy``); pin it explicitly for hash-stable specs.
+    ``compare=True`` additionally replays the campaign on the cross-check
+    engine and records whether the counters agree.
     """
 
     scenario: str = "exhaustive"
@@ -150,7 +152,7 @@ class CampaignSpec:
     trials: int = 1000
     seed: int = 0
     engine: str = "parallel"
-    lane_width: int = DEFAULT_LANE_WIDTH
+    lane_width: Optional[int] = None
     workers: int = 1
     pack_contexts: bool = True
     compare: bool = False
@@ -170,7 +172,7 @@ class CampaignSpec:
             raise ValueError("faults must be >= 1")
         if self.trials < 0:
             raise ValueError("trials must be >= 0")
-        if self.lane_width < 1:
+        if self.lane_width is not None and self.lane_width < 1:
             raise ValueError("lane_width must be >= 1")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")

@@ -34,7 +34,6 @@ from repro.api import (
     available_scenarios,
 )
 from repro.api.spec import EFFECT_NAMES
-from repro.fi.orchestrator import DEFAULT_LANE_WIDTH
 from repro.fsmlib import available_fsms
 
 
@@ -85,9 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
         # error, not as a deep ValueError.
         choices=available_engines(),
         default="parallel",
-        help="bit-parallel lane engine (default), the same lanes on the "
-        "source-compiled evaluator (netlist exec'd as generated Python, "
-        "fastest), or the scalar reference simulator",
+        help="bignum bit-parallel lane engine (default), the same lanes on "
+        "the source-compiled evaluator (netlist exec'd as generated Python), "
+        "the word-sliced numpy engine (parallel-numpy, fastest on wide "
+        "campaigns), or the scalar reference simulator",
     )
     parser.add_argument(
         "--workers",
@@ -100,10 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--lane-width",
         type=int,
-        default=DEFAULT_LANE_WIDTH,
+        default=None,
         help="fault lanes packed per bit-parallel pass; lanes are filled "
         "across transition contexts, so sweeps over few nets but many "
-        "transitions still use the full width",
+        "transitions still use the full width (default: the engine's own "
+        "budget -- 256 for the bignum engines, 4096 for parallel-numpy)",
     )
     parser.add_argument(
         "--compare",
@@ -141,7 +142,7 @@ def spec_from_args(args) -> ExperimentSpec:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.lane_width < 1:
+    if args.lane_width is not None and args.lane_width < 1:
         parser.error("--lane-width must be >= 1")
     if args.faults < 1:
         parser.error("--faults must be >= 1")

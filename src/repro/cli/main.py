@@ -16,7 +16,7 @@ import argparse
 import json
 import sys
 
-from repro.api import ExperimentSpec, Session
+from repro.api import ExperimentSpec, Session, available_engines
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,6 +33,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the spec's campaign worker count (counters are "
         "worker-count independent)",
+    )
+    run.add_argument(
+        "--engine",
+        default=None,
+        choices=available_engines(),
+        help="override the spec's evaluation engine (counters are "
+        "engine independent)",
     )
     run.add_argument(
         "--out",
@@ -80,7 +87,7 @@ def _run(args) -> int:
         if not args.quiet:
             print(f"[scfi] {stage}: {detail}", file=sys.stderr)
 
-    result = Session(progress=progress).run(spec, workers=args.workers)
+    result = Session(progress=progress).run(spec, workers=args.workers, engine=args.engine)
     if not args.quiet:
         for campaign in result.campaigns.values():
             print(f"[scfi] {campaign.format()}", file=sys.stderr)

@@ -61,6 +61,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.structure import ScfiNetlist
 from repro.fi.activate import activating_inputs
 from repro.fi.injector import ScfiFaultInjector, cfg_successor_map, fault_set
@@ -71,12 +73,56 @@ from repro.fi.model import (
     FaultOutcome,
     classify_observation,
 )
+from repro.fi import shm_transport
+from repro.fi.shm_transport import ShmBatchRef
 from repro.fsm.cfg import CfgEdge, control_flow_edges
 from repro.netlist.parallel import CompiledNetlist
+from repro.netlist.parallel_np import (
+    MODE_FLIP,
+    MODE_STUCK0,
+    MODE_STUCK1,
+    NumpyCompiledNetlist,
+)
 from repro.netlist.simulate import FaultSet
 
-#: Fault groups packed into one bit-parallel pass (plus the golden lane 0).
+#: Fault groups packed into one bit-parallel pass (plus the golden lane 0)
+#: on the bignum engines, where each extra lane lengthens every big-int op.
 DEFAULT_LANE_WIDTH = 256
+
+#: Default lane budget of the word-sliced numpy engine: lanes cost 1/64 of a
+#: machine word each, so wide passes amortise the per-batch overhead instead
+#: of inflating per-op cost.
+DEFAULT_NUMPY_LANE_WIDTH = 4096
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Static engine metadata recorded in experiment provenance.
+
+    ``word_width`` is the machine word the engine slices lanes onto (``None``
+    for the arbitrary-precision bignum and scalar paths); ``default_lane_width``
+    is the lane budget used when a campaign does not pin one.
+    """
+
+    word_width: Optional[int]
+    default_lane_width: int
+
+
+#: Metadata for every built-in engine; ``FaultCampaign.ENGINES`` derives from
+#: the (sorted) keys, so CLI choices and the API registry track this table.
+ENGINE_INFO: Dict[str, EngineInfo] = {
+    "parallel": EngineInfo(word_width=None, default_lane_width=DEFAULT_LANE_WIDTH),
+    "parallel-compiled": EngineInfo(word_width=None, default_lane_width=DEFAULT_LANE_WIDTH),
+    "parallel-numpy": EngineInfo(word_width=64, default_lane_width=DEFAULT_NUMPY_LANE_WIDTH),
+    "scalar": EngineInfo(word_width=None, default_lane_width=DEFAULT_LANE_WIDTH),
+}
+
+#: FaultEffect -> array-native fault mode of the numpy engine.
+_EFFECT_MODES = {
+    FaultEffect.TRANSIENT_FLIP: MODE_FLIP,
+    FaultEffect.STUCK_AT_0: MODE_STUCK0,
+    FaultEffect.STUCK_AT_1: MODE_STUCK1,
+}
 
 #: Plans retained per campaign (LRU): bounds memory for long-lived campaigns
 #: that run many differently-shaped scenarios (e.g. varying random seeds).
@@ -90,6 +136,27 @@ PLAN_CACHE_MAX_JOBS = 1_000_000
 
 #: A job: (context index, faults injected together during that transition).
 InjectionJob = Tuple[int, Tuple[Fault, ...]]
+
+
+@dataclass(frozen=True)
+class JobArrays:
+    """A job stream lowered to flat arrays (single-fault jobs only).
+
+    ``contexts[i]``/``net_rows[i]``/``modes[i]`` describe job ``i``: its
+    transition-context index, the dense net id of its faulted net and the
+    array-native fault mode (:data:`~repro.netlist.parallel_np.MODE_FLIP` /
+    ``MODE_STUCK0`` / ``MODE_STUCK1``).  Scenario order is preserved exactly,
+    so plans, batch boundaries and counters match the generic object stream
+    bit for bit.
+    """
+
+    contexts: np.ndarray
+    net_rows: np.ndarray
+    modes: np.ndarray
+
+    @property
+    def num_jobs(self) -> int:
+        return self.contexts.size
 
 
 @dataclass
@@ -253,6 +320,31 @@ class ExhaustiveSingleFault:
             for net in nets:
                 for effect in self.effects:
                     yield index, (Fault(net=net, effect=effect),)
+
+    def jobs_arrays(self, campaign: "FaultCampaign") -> Optional[JobArrays]:
+        """The :meth:`jobs` stream as flat arrays, in identical order.
+
+        The cross product (context x net x effect) is synthesised with
+        ``repeat``/``tile`` instead of one Python object pair per job, which
+        is what lets the numpy engine run wide campaigns without per-job
+        interpreter overhead.  Returns ``None`` for effects outside the
+        array-native fault modes (future effect kinds fall back to the
+        generic job stream).
+        """
+        modes = [_EFFECT_MODES.get(effect) for effect in self.effects]
+        if not modes or any(mode is None for mode in modes):
+            return None
+        nets = self.resolved_nets(campaign)
+        net_id = campaign.compiled.net_id
+        net_ids = np.array([net_id[net] for net in nets], dtype=np.intp)
+        effect_modes = np.array(modes, dtype=np.uint8)
+        num_contexts = len(campaign.contexts)
+        per_context = net_ids.size * effect_modes.size
+        return JobArrays(
+            contexts=np.repeat(np.arange(num_contexts, dtype=np.intp), per_context),
+            net_rows=np.tile(np.repeat(net_ids, effect_modes.size), num_contexts),
+            modes=np.tile(effect_modes, num_contexts * net_ids.size),
+        )
 
 
 @dataclass
@@ -520,17 +612,71 @@ def _reply_from_rows(campaign: "FaultCampaign", rows: List[_JobRow]) -> _BatchRe
     )
 
 
-def _worker_run_batch(task: Tuple[PlannedBatch, List[_JobSpec]]) -> _BatchReply:
-    """Evaluate one planned batch in a worker process."""
-    batch, specs = task
+def _resolve_worker_batch(handle) -> Tuple[PlannedBatch, Optional[ShmBatchRef]]:
+    """Materialise a task handle into a planned batch.
+
+    Pickled tasks carry the :class:`PlannedBatch` itself; shared-memory tasks
+    carry a :class:`~repro.fi.shm_transport.ShmBatchRef` whose lane words are
+    read in place -- zero-copy uint64 rows for the numpy engine, rebuilt
+    bignum ints for the others.
+    """
+    if not isinstance(handle, ShmBatchRef):
+        return handle, None
+    input_words = register_words = None
+    input_rows, register_rows = shm_transport.batch_words(handle)
+    if input_rows is not None:
+        if _WORKER_CAMPAIGN.engine == "parallel-numpy":
+            input_words = {net: input_rows[i] for i, net in enumerate(handle.input_nets)}
+            register_words = {
+                net: register_rows[i] for i, net in enumerate(handle.register_nets)
+            }
+        else:
+            input_words = shm_transport.rows_to_ints(handle.input_nets, input_rows)
+            register_words = shm_transport.rows_to_ints(handle.register_nets, register_rows)
+    batch = PlannedBatch(
+        start=handle.start,
+        stop=handle.stop,
+        golden_contexts=handle.golden_contexts,
+        input_words=input_words,
+        register_words=register_words,
+    )
+    return batch, handle
+
+
+def _worker_run_batch(task) -> _BatchReply:
+    """Evaluate one planned batch in a worker process.
+
+    ``task`` is ``(handle, payload)``: the handle is a :class:`PlannedBatch`
+    (pickled transport) or :class:`ShmBatchRef` (shared-memory transport);
+    the payload is ``("specs", [...])`` for the generic wire format or
+    ``("arrays", contexts, net_rows, modes)`` for the numpy engine's
+    array-native jobs.  With shared memory the per-job observed codes are
+    written back into the segment's code slots and the reply carries only
+    counters -- the parent re-derives outcome rows with the same memoised
+    classifier.
+    """
+    handle, payload = task
     campaign = _WORKER_CAMPAIGN
-    fault_lanes: List[Optional[FaultSet]] = [None] * len(batch.golden_contexts)
+    batch, ref = _resolve_worker_batch(handle)
+    num_golden = len(batch.golden_contexts)
+    if payload[0] == "arrays":
+        _, contexts, net_rows, modes = payload
+        codes = campaign._evaluate_batch_arrays(batch, net_rows, modes)
+        if ref is not None:
+            shm_transport.write_codes(ref, codes)
+        return tuple(campaign._classified_counts(contexts, codes)), None
+    specs = payload[1]
+    fault_lanes: List[Optional[FaultSet]] = [None] * num_golden
     fault_lanes.extend(_spec_fault_set(spec) for _, spec in specs)
     codes, goldens = campaign._evaluate_batch_codes(batch, fault_lanes)
     rows: List[_JobRow] = []
-    for lane, (index, _) in enumerate(specs, start=len(batch.golden_contexts)):
+    for lane, (index, _) in enumerate(specs, start=num_golden):
         classification, observed_state = campaign._classify(index, goldens[index], codes[lane])
         rows.append((classification, codes[lane], observed_state))
+    if ref is not None and ref.codes_offset is not None:
+        shm_transport.write_codes(ref, codes[num_golden : num_golden + len(specs)])
+        counters, _ = _reply_from_rows(campaign, rows)
+        return counters, None
     return _reply_from_rows(campaign, rows)
 
 
@@ -576,19 +722,22 @@ class FaultCampaign:
     campaign as a context manager) to release it.
     """
 
-    ENGINES = ("parallel", "parallel-compiled", "scalar")
+    ENGINES = tuple(sorted(ENGINE_INFO))
 
     def __init__(
         self,
         structure: ScfiNetlist,
         engine: str = "parallel",
-        lane_width: int = DEFAULT_LANE_WIDTH,
+        lane_width: Optional[int] = None,
         keep_outcomes: bool = False,
         pack_contexts: bool = True,
         workers: int = 1,
+        use_shared_memory: bool = True,
     ):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r} (choose from {self.ENGINES})")
+        if lane_width is None:
+            lane_width = ENGINE_INFO[engine].default_lane_width
         if lane_width < 1:
             raise ValueError("lane_width must be >= 1")
         if workers < 1:
@@ -600,8 +749,13 @@ class FaultCampaign:
         self.keep_outcomes = keep_outcomes
         self.pack_contexts = pack_contexts
         self.workers = workers
+        self.use_shared_memory = use_shared_memory
+        #: Transport of the most recent sharded execution ("shm"/"pickle"),
+        #: None until one ran -- introspection for tests and diagnostics.
+        self.last_transport: Optional[str] = None
         self.injector = ScfiFaultInjector(structure)
         self._use_source = engine == "parallel-compiled"
+        self._is_numpy = engine == "parallel-numpy"
         self._successors = cfg_successor_map(self.hardened.fsm)
         self._error_states = frozenset([self.hardened.error_state])
         self.contexts: List[Tuple[CfgEdge, Dict[str, int]]] = transition_contexts(structure)
@@ -673,7 +827,8 @@ class FaultCampaign:
     def compiled(self) -> CompiledNetlist:
         """The lazily compiled bit-parallel form of the protected netlist."""
         if self._compiled is None:
-            self._compiled = CompiledNetlist(self.structure.netlist)
+            factory = NumpyCompiledNetlist if self._is_numpy else CompiledNetlist
+            self._compiled = factory(self.structure.netlist)
         return self._compiled
 
     # ------------------------------------------------------------------
@@ -696,10 +851,11 @@ class FaultCampaign:
     def _validated_jobs(self, jobs: Iterable[InjectionJob]) -> Iterator[InjectionJob]:
         """Pass jobs through, rejecting faults on nets the netlist lacks."""
         known = self._known_nets
-        for index, faults in jobs:
-            if any(fault.net not in known for fault in faults):
-                self.validate_target_nets(fault.net for fault in faults)
-            yield index, faults
+        for job in jobs:
+            for fault in job[1]:
+                if fault.net not in known:
+                    self.validate_target_nets(f.net for f in job[1])
+            yield job
 
     # ------------------------------------------------------------------
     def run(self, scenario) -> CampaignResult:
@@ -709,6 +865,17 @@ class FaultCampaign:
             keep_outcomes=self.keep_outcomes,
         )
         scenario.annotate(result, self)
+        arrays = self._scenario_job_arrays(scenario)
+        if arrays is not None:
+            if not arrays.num_jobs:
+                return result
+            result.transitions_evaluated = int(np.unique(arrays.contexts).size)
+            plan = self.plan_jobs(arrays.contexts.tolist())
+            if self.workers > 1:
+                self._execute_plan_sharded_arrays(plan, arrays, result)
+            else:
+                self._execute_plan_arrays(plan, arrays, result)
+            return result
         jobs = list(self._validated_jobs(scenario.jobs(self)))
         result.transitions_evaluated = len({index for index, _ in jobs})
         if not jobs:
@@ -725,6 +892,24 @@ class FaultCampaign:
             else:
                 self._execute_plan(plan, jobs, result)
         return result
+
+    def _scenario_job_arrays(self, scenario) -> Optional[JobArrays]:
+        """The scenario's array-native job stream, when usable.
+
+        Only the numpy engine consumes flat job arrays, and only for
+        counters-only campaigns whose state code fits one machine word (the
+        vectorised classifier packs ``(context, code)`` into a uint64 key);
+        kept-outcome runs and exotic scenarios use the generic object stream.
+        """
+        if not self._is_numpy or self.keep_outcomes:
+            return None
+        maker = getattr(scenario, "jobs_arrays", None)
+        if maker is None:
+            return None
+        state_bits = len(self.structure.state_d)
+        if not 0 < state_bits < 64 or len(self.contexts) > (1 << (63 - state_bits)):
+            return None
+        return maker(self)
 
     def run_sweep(self, scenarios: Mapping[str, object]) -> Dict[str, CampaignResult]:
         """Execute several named scenarios.
@@ -849,15 +1034,110 @@ class FaultCampaign:
         for batch in plan.batches:
             self._record_rows(jobs[batch.start : batch.stop], self._evaluate_batch(batch, jobs), result)
 
+    def _execute_plan_arrays(
+        self, plan: CampaignPlan, arrays: JobArrays, result: CampaignResult
+    ) -> None:
+        """In-process array-native execution (numpy engine, counters only)."""
+        for batch in plan.batches:
+            codes = self._evaluate_batch_arrays(
+                batch,
+                arrays.net_rows[batch.start : batch.stop],
+                arrays.modes[batch.start : batch.stop],
+            )
+            counts = self._classified_counts(arrays.contexts[batch.start : batch.stop], codes)
+            for classification, count in zip(_CLASSIFICATIONS, counts):
+                if count:
+                    result.tally_bulk(classification, count)
+
     def _execute_plan_sharded(
         self, plan: CampaignPlan, jobs: List[InjectionJob], result: CampaignResult
     ) -> None:
-        """Dispatch planned batches to the pool; merge replies in plan order."""
+        """Dispatch planned batches to the pool; merge replies in plan order.
+
+        Batch lane words travel through one shared-memory segment when
+        possible (and per-job observed codes ride back the same way for
+        ``keep_outcomes`` runs); otherwise -- no ``shared_memory`` support,
+        segment creation failure, state codes wider than one machine word,
+        or ``use_shared_memory=False`` -- the pickled wire format is used.
+        The segment is unlinked in ``finally``, so worker exceptions cannot
+        leak ``/dev/shm`` entries.
+        """
         pool = self._ensure_pool()
         specs = _job_specs(jobs)
-        tasks = [(batch, specs[batch.start : batch.stop]) for batch in plan.batches]
-        for batch, reply in zip(plan.batches, pool.imap(_worker_run_batch, tasks)):
-            self._merge_reply(jobs[batch.start : batch.stop], reply, result)
+        payloads = [("specs", specs[batch.start : batch.stop]) for batch in plan.batches]
+        segment = self._plan_segment(plan, want_codes=self.keep_outcomes)
+        handles = segment.refs if segment is not None else list(plan.batches)
+        try:
+            tasks = list(zip(handles, payloads))
+            for batch, handle, reply in zip(
+                plan.batches, handles, pool.imap(_worker_run_batch, tasks)
+            ):
+                batch_jobs = jobs[batch.start : batch.stop]
+                counters, rows = reply
+                if self.keep_outcomes and rows is None and segment is not None:
+                    self._record_rows(
+                        batch_jobs,
+                        self._rows_from_codes(batch_jobs, segment.codes_for(handle)),
+                        result,
+                    )
+                else:
+                    self._merge_reply(batch_jobs, reply, result)
+        finally:
+            if segment is not None:
+                segment.close()
+
+    def _execute_plan_sharded_arrays(
+        self, plan: CampaignPlan, arrays: JobArrays, result: CampaignResult
+    ) -> None:
+        """Sharded array-native execution: workers classify, replies carry
+        only per-classification counters."""
+        pool = self._ensure_pool()
+        payloads = [
+            (
+                "arrays",
+                arrays.contexts[batch.start : batch.stop],
+                arrays.net_rows[batch.start : batch.stop],
+                arrays.modes[batch.start : batch.stop],
+            )
+            for batch in plan.batches
+        ]
+        segment = self._plan_segment(plan, want_codes=False)
+        handles = segment.refs if segment is not None else list(plan.batches)
+        try:
+            for counters, _ in pool.imap(_worker_run_batch, list(zip(handles, payloads))):
+                for classification, count in zip(_CLASSIFICATIONS, counters):
+                    if count:
+                        result.tally_bulk(classification, count)
+        finally:
+            if segment is not None:
+                segment.close()
+
+    def _plan_segment(self, plan: CampaignPlan, want_codes: bool):
+        """The plan's shared segment, or ``None`` for the pickled format."""
+        if (
+            not self.use_shared_memory
+            or not shm_transport.available()
+            or (want_codes and len(self.structure.state_d) > 64)
+        ):
+            self.last_transport = "pickle"
+            return None
+        num_goldens = [len(batch.golden_contexts) for batch in plan.batches]
+        segment = shm_transport.PlanSegment.pack(plan.batches, num_goldens, want_codes)
+        self.last_transport = "shm" if segment is not None else "pickle"
+        return segment
+
+    def _rows_from_codes(
+        self, batch_jobs: Sequence[InjectionJob], codes: "np.ndarray"
+    ) -> List[_JobRow]:
+        """Rebuild per-job outcome rows from shared-memory code slots.
+
+        The parent applies the same memoised classifier the worker used, so
+        rebuilt rows are identical to pickled ones."""
+        rows: List[_JobRow] = []
+        for (index, _), code in zip(batch_jobs, codes.tolist()):
+            classification, observed_state = self._classify(index, self._golden_code(index), code)
+            rows.append((classification, code, observed_state))
+        return rows
 
     def _execute_scalar_sharded(self, jobs: List[InjectionJob], result: CampaignResult) -> None:
         """Shard scalar-oracle jobs into contiguous chunks across the pool."""
@@ -934,11 +1214,16 @@ class FaultCampaign:
             self._state_d_ids = [net_id[net] for net in self.structure.state_d]
         return self._state_d_ids
 
+    def _golden_code(self, index: int) -> int:
+        """The analytic next-state code of one transition context."""
+        edge, _ = self.contexts[index]
+        return self.hardened.state_encoding[edge.dst]
+
     def _check_golden(self, index: int, observed: int) -> int:
         """Assert one golden lane against the analytic next-state code."""
-        edge, _ = self.contexts[index]
-        golden = self.hardened.state_encoding[edge.dst]
+        golden = self._golden_code(index)
         if observed != golden:
+            edge, _ = self.contexts[index]
             raise RuntimeError(
                 f"bit-parallel golden lane diverged on edge {edge.src}->{edge.dst}: "
                 f"expected {golden:#x}, simulated {observed:#x}"
@@ -988,6 +1273,59 @@ class FaultCampaign:
             for lane, index in enumerate(batch.golden_contexts)
         }
         return codes, goldens
+
+    def _evaluate_batch_arrays(
+        self, batch: PlannedBatch, net_rows: "np.ndarray", modes: "np.ndarray"
+    ) -> "np.ndarray":
+        """One array-native pass (numpy engine): per-job observed codes.
+
+        ``net_rows``/``modes`` are the batch's slices of
+        :class:`JobArrays` -- one single-effect fault per job lane.  Golden
+        lanes are checked against the analytic next state exactly like the
+        generic path.
+        """
+        num_golden = len(batch.golden_contexts)
+        num_jobs = batch.stop - batch.start
+        num_lanes = num_golden + num_jobs
+        lanes = np.arange(num_golden, num_lanes, dtype=np.uint64)
+        if batch.input_words is None:
+            encoded, registers = self._context_vectors(batch.golden_contexts[0])
+            values = self.compiled.evaluate_fault_arrays(
+                encoded, net_rows, lanes, modes, num_lanes, registers=registers
+            )
+        else:
+            values = self.compiled.evaluate_fault_arrays(
+                batch.input_words,
+                net_rows,
+                lanes,
+                modes,
+                num_lanes,
+                registers=batch.register_words,
+                lane_words=True,
+            )
+        codes = values.code_array_by_id(self._state_d())
+        for lane, index in enumerate(batch.golden_contexts):
+            self._check_golden(index, int(codes[lane]))
+        return codes[num_golden:]
+
+    def _classified_counts(self, job_contexts: "np.ndarray", codes: "np.ndarray") -> List[int]:
+        """Per-classification counts of one batch, classified vectorially.
+
+        ``(context, code)`` pairs collapse into one uint64 key (the array
+        path only activates for sub-64-bit state codes), and only the unique
+        pairs go through the memoised scalar classifier.
+        """
+        state_bits = len(self.structure.state_d)
+        keys = (job_contexts.astype(np.uint64) << np.uint64(state_bits)) | codes
+        unique, inverse = np.unique(keys, return_inverse=True)
+        code_mask = (1 << state_bits) - 1
+        class_index = np.empty(unique.size, dtype=np.intp)
+        for i, key in enumerate(unique.tolist()):
+            index = key >> state_bits
+            classification, _ = self._classify(index, self._golden_code(index), key & code_mask)
+            class_index[i] = _CLASSIFICATION_INDEX[classification]
+        counts = np.bincount(class_index[inverse], minlength=len(_CLASSIFICATIONS))
+        return counts.tolist()
 
     # ------------------------------------------------------------------
     def _classify(self, index: int, golden: int, observed: int) -> Tuple[Classification, Optional[str]]:

@@ -6,6 +6,7 @@ from repro.netlist.netlist import Netlist
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.simulate import NetlistSimulator, FaultSet
 from repro.netlist.parallel import CompiledNetlist, LaneValues
+from repro.netlist.parallel_np import NumpyCompiledNetlist, NumpyLaneValues
 from repro.netlist.timing import TimingAnalyzer, TimingReport
 from repro.netlist.area import AreaReport, area_report
 
@@ -21,6 +22,8 @@ __all__ = [
     "FaultSet",
     "CompiledNetlist",
     "LaneValues",
+    "NumpyCompiledNetlist",
+    "NumpyLaneValues",
     "TimingAnalyzer",
     "TimingReport",
     "AreaReport",

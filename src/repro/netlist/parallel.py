@@ -51,6 +51,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+try:  # numpy accelerates the lane-word transposes; the engines work without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a package dependency
+    _np = None
+
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 from repro.netlist.simulate import FaultSet
@@ -99,6 +104,44 @@ _OP_SOURCE = {
 }
 
 
+#: Below this many (lanes x bits) cells the plain shift loop beats the numpy
+#: transpose (array setup dominates); above it the byte-level path wins by an
+#: order of magnitude on wide batches.
+_TRANSPOSE_THRESHOLD = 512
+
+
+def lane_codes_from_byte_rows(rows, num_lanes: int) -> List[int]:
+    """Per-lane integers from a byte-level bit matrix (the shared transpose).
+
+    ``rows`` is a ``(num_bits, num_bytes)`` ``uint8`` array where bit ``i`` of
+    lane ``k`` lives in ``rows[i, k // 8]`` at bit position ``k % 8`` (i.e.
+    every row is the little-endian byte form of one net's lane word).  Returns
+    ``num_lanes`` integers assembling bit ``i`` of each lane LSB-first --
+    exactly what the O(lanes x bits) shift loop of
+    :meth:`LaneValues.read_words_by_id` used to produce, but vectorised: one
+    ``unpackbits`` plus either a weighted column sum (codes below 64 bits) or
+    a ``packbits`` re-pack (arbitrary width).  Shared by the bignum engines
+    and :mod:`repro.netlist.parallel_np`.
+    """
+    num_bits = rows.shape[0]
+    if num_bits == 0:
+        return [0] * num_lanes
+    bits = _np.unpackbits(rows, axis=1, count=num_lanes, bitorder="little")
+    if num_bits < 64:
+        weights = _np.left_shift(
+            _np.uint64(1), _np.arange(num_bits, dtype=_np.uint64)
+        )
+        codes = (bits * weights[:, None]).sum(axis=0, dtype=_np.uint64)
+        return codes.tolist()
+    packed = _np.packbits(bits.T, axis=1, bitorder="little")
+    stride = packed.shape[1]
+    data = packed.tobytes()
+    return [
+        int.from_bytes(data[lane * stride : (lane + 1) * stride], "little")
+        for lane in range(num_lanes)
+    ]
+
+
 class LaneValues:
     """Per-net lane words produced by one :meth:`CompiledNetlist.evaluate` pass."""
 
@@ -136,8 +179,23 @@ class LaneValues:
         return self.read_words_by_id([self._net_id[bit] for bit in bits])
 
     def read_words_by_id(self, ids: Sequence[int]) -> List[int]:
-        """Like :meth:`read_words` but over pre-resolved dense net ids."""
+        """Like :meth:`read_words` but over pre-resolved dense net ids.
+
+        Wide batches go through the shared byte-level transpose
+        (:func:`lane_codes_from_byte_rows`): each bignum lane word is lowered
+        to its little-endian bytes once and the per-lane codes come out of two
+        vectorised bit passes, replacing the O(lanes x bits) shift loop that
+        used to dominate batch classification at large lane counts.  Tiny
+        reads (and numpy-less installs) keep the plain loop.
+        """
         words = [self._words[net_id] for net_id in ids]
+        if _np is not None and self.num_lanes * len(words) >= _TRANSPOSE_THRESHOLD:
+            num_bytes = (self.num_lanes + 7) // 8
+            rows = _np.frombuffer(
+                b"".join(word.to_bytes(num_bytes, "little") for word in words),
+                dtype=_np.uint8,
+            ).reshape(len(words), num_bytes)
+            return lane_codes_from_byte_rows(rows, self.num_lanes)
         codes = []
         for lane in range(self.num_lanes):
             code = 0

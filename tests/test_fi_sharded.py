@@ -23,7 +23,7 @@ from repro.fi.orchestrator import (
 from repro.fsm.random_fsm import random_fsm
 from repro.fsmlib.opentitan import ibex_lsu_fsm
 
-ENGINES = ("parallel", "parallel-compiled", "scalar")
+ENGINES = ("parallel", "parallel-compiled", "parallel-numpy", "scalar")
 
 ALL_EFFECTS = (FaultEffect.TRANSIENT_FLIP, FaultEffect.STUCK_AT_0, FaultEffect.STUCK_AT_1)
 
@@ -73,6 +73,23 @@ class TestShardedEqualsSingleProcess:
         with FaultCampaign(ibex_structure, engine=engine, workers=4) as campaign:
             sharded = campaign.run(ExhaustiveSingleFault(target_nets="comb"))
         assert sharded.counters() == IBEX_COMB_COUNTERS
+
+    def test_numpy_sharded_matches_across_transports(self):
+        """workers=N bit-identity for parallel-numpy over both wire formats."""
+        structure = _protect(random_fsm(11, num_states=5))
+        scenario = ExhaustiveSingleFault(target_nets="comb", effects=ALL_EFFECTS)
+        single = FaultCampaign(structure, engine="parallel-numpy").run(scenario)
+        with FaultCampaign(structure, engine="parallel-numpy", workers=4) as campaign:
+            shm = campaign.run(scenario)
+            assert campaign.last_transport == "shm"
+        with FaultCampaign(
+            structure, engine="parallel-numpy", workers=4, use_shared_memory=False
+        ) as campaign:
+            pickled = campaign.run(scenario)
+            assert campaign.last_transport == "pickle"
+        assert shm.counters() == single.counters()
+        assert pickled.counters() == single.counters()
+        assert shm.total_injections == pickled.total_injections == single.total_injections
 
     def test_sharded_outcomes_keep_job_order(self):
         structure = _protect(random_fsm(31, num_states=4))

@@ -1,0 +1,192 @@
+"""The word-sliced numpy engine: lane-for-lane equality with the bignum
+engines, wide-lane campaigns past the 256-lane budget, and the array-native
+fault plumbing (ISSUE 6 tentpole).
+
+The property at the heart of this file: for ANY netlist, ANY lane count and
+ANY mix of flip/stuck-at fault lanes, ``NumpyCompiledNetlist.evaluate``
+produces bit-identical per-net lane words to ``CompiledNetlist.evaluate``
+(interpreted and source-compiled).  Campaign-level counter equality across
+all four engines then follows and is pinned separately, including on the
+``ibex_lsu_fsm`` regression netlist.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.scfi import ScfiOptions, protect_fsm
+from repro.fi.model import FaultEffect
+from repro.fi.orchestrator import (
+    DEFAULT_NUMPY_LANE_WIDTH,
+    ENGINE_INFO,
+    ExhaustiveSingleFault,
+    FaultCampaign,
+    RandomMultiFault,
+)
+from repro.fsm.random_fsm import random_fsm
+from repro.fsmlib.opentitan import ibex_lsu_fsm
+from repro.netlist.parallel import CompiledNetlist
+from repro.netlist.parallel_np import (
+    NumpyCompiledNetlist,
+    int_to_words,
+    words_to_int,
+)
+from repro.netlist.simulate import FaultSet
+
+ALL_EFFECTS = (FaultEffect.TRANSIENT_FLIP, FaultEffect.STUCK_AT_0, FaultEffect.STUCK_AT_1)
+
+IBEX_COMB_COUNTERS = (1369, 1479, 74, 88)
+
+
+def _protect(fsm):
+    return protect_fsm(fsm, ScfiOptions(protection_level=2, generate_verilog=False)).structure
+
+
+def _random_fault_lanes(rng, nets, num_lanes):
+    """Random per-lane fault sets: flips, stuck-ats, overlaps, empty lanes."""
+    lanes = []
+    for _ in range(num_lanes):
+        if rng.random() < 0.25:
+            lanes.append(None)  # golden lane
+            continue
+        chosen = rng.sample(nets, rng.randrange(1, min(4, len(nets)) + 1))
+        flips = frozenset(net for net in chosen if rng.random() < 0.5)
+        stuck = {net: rng.randrange(2) for net in chosen if rng.random() < 0.5}
+        lanes.append(FaultSet(flips=flips, stuck_at=stuck))
+    return lanes
+
+
+class TestWordHelpers:
+    @pytest.mark.parametrize("num_words", [1, 2, 5])
+    def test_int_words_roundtrip(self, num_words):
+        rng = random.Random(3)
+        for _ in range(50):
+            value = rng.getrandbits(num_words * 64)
+            assert words_to_int(int_to_words(value, num_words)) == value
+
+    def test_word_order_is_little_endian(self):
+        words = int_to_words(1 << 64, 2)
+        assert list(words) == [0, 1]
+
+
+class TestLaneForLaneEquality:
+    """Property style: numpy lane words == bignum lane words on every net."""
+
+    @pytest.mark.parametrize("seed", [1, 8, 21])
+    @pytest.mark.parametrize("num_lanes", [1, 63, 64, 65, 200])
+    def test_random_netlist_random_faults(self, seed, num_lanes):
+        structure = _protect(random_fsm(seed, num_states=4))
+        netlist = structure.netlist
+        bignum = CompiledNetlist(netlist)
+        vector = NumpyCompiledNetlist(netlist)
+        rng = random.Random(seed * 1000 + num_lanes)
+        nets = sorted(gate.output for gate in netlist.gates.values())
+        inputs = {net: rng.randrange(2) for net in netlist.primary_inputs}
+        registers = {net: rng.randrange(2) for net in structure.state_q}
+        lanes = _random_fault_lanes(rng, nets, num_lanes)
+        ref = bignum.evaluate(inputs, fault_lanes=lanes, registers=registers)
+        out = vector.evaluate(inputs, fault_lanes=lanes, registers=registers)
+        for net in nets:
+            assert out.word(net) == ref.word(net), net
+        state_ids = [vector.net_id[net] for net in structure.state_d]
+        assert out.read_words_by_id(state_ids) == ref.read_words_by_id(state_ids)
+
+    def test_matches_source_compiled_engine(self):
+        structure = _protect(random_fsm(33, num_states=5))
+        netlist = structure.netlist
+        bignum = CompiledNetlist(netlist)
+        vector = NumpyCompiledNetlist(netlist)
+        rng = random.Random(7)
+        nets = sorted(gate.output for gate in netlist.gates.values())
+        inputs = {net: rng.randrange(2) for net in netlist.primary_inputs}
+        registers = {net: rng.randrange(2) for net in structure.state_q}
+        lanes = _random_fault_lanes(rng, nets, 130)
+        ref = bignum.evaluate(inputs, fault_lanes=lanes, registers=registers, use_source=True)
+        out = vector.evaluate(inputs, fault_lanes=lanes, registers=registers)
+        for net in nets:
+            assert out.word(net) == ref.word(net), net
+
+    def test_code_array_matches_read_words(self):
+        structure = _protect(random_fsm(5, num_states=4))
+        vector = NumpyCompiledNetlist(structure.netlist)
+        rng = random.Random(9)
+        nets = sorted(gate.output for gate in structure.netlist.gates.values())
+        inputs = {net: rng.randrange(2) for net in structure.netlist.primary_inputs}
+        registers = {net: rng.randrange(2) for net in structure.state_q}
+        lanes = _random_fault_lanes(rng, nets, 90)
+        out = vector.evaluate(inputs, fault_lanes=lanes, registers=registers)
+        ids = [vector.net_id[net] for net in structure.state_d]
+        codes = out.code_array_by_id(ids)
+        assert codes is not None and codes.dtype == np.uint64
+        assert codes.tolist() == out.read_words_by_id(ids)
+
+    def test_unknown_fault_net_raises_like_bignum(self):
+        structure = _protect(random_fsm(2, num_states=3))
+        vector = NumpyCompiledNetlist(structure.netlist)
+        bignum = CompiledNetlist(structure.netlist)
+        bad = [FaultSet(flips=frozenset({"no_such_net"}))]
+        with pytest.raises(ValueError) as np_err:
+            vector.evaluate({}, fault_lanes=bad)
+        with pytest.raises(ValueError) as big_err:
+            bignum.evaluate({}, fault_lanes=bad)
+        assert str(np_err.value) == str(big_err.value)
+
+
+class TestWideCampaigns:
+    """Lane counts past the bignum engines' 256-lane budget."""
+
+    def test_numpy_default_lane_width(self):
+        assert ENGINE_INFO["parallel-numpy"].default_lane_width == DEFAULT_NUMPY_LANE_WIDTH
+        assert DEFAULT_NUMPY_LANE_WIDTH >= 1024
+        structure = _protect(random_fsm(4, num_states=4))
+        campaign = FaultCampaign(structure, engine="parallel-numpy")
+        assert campaign.lane_width == DEFAULT_NUMPY_LANE_WIDTH
+
+    def test_wide_lanes_match_narrow_and_bignum(self):
+        structure = _protect(random_fsm(13, num_states=5))
+        scenario = ExhaustiveSingleFault(target_nets="comb", effects=ALL_EFFECTS)
+        ref = FaultCampaign(structure, engine="parallel").run(scenario)
+        wide = FaultCampaign(structure, engine="parallel-numpy", lane_width=2048).run(scenario)
+        narrow = FaultCampaign(structure, engine="parallel-numpy", lane_width=17).run(scenario)
+        assert wide.counters() == ref.counters()
+        assert narrow.counters() == ref.counters()
+
+
+class TestCampaignCounterEquality:
+    """The numpy engine through the full campaign stack, vs every engine."""
+
+    @pytest.mark.parametrize("engine", ["parallel", "parallel-compiled", "scalar"])
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_exhaustive_all_effects(self, engine, seed):
+        structure = _protect(random_fsm(seed, num_states=4))
+        target = "diffusion" if engine == "scalar" else "comb"
+        scenario = ExhaustiveSingleFault(target_nets=target, effects=ALL_EFFECTS)
+        ref = FaultCampaign(structure, engine=engine).run(scenario)
+        out = FaultCampaign(structure, engine="parallel-numpy").run(scenario)
+        assert out.counters() == ref.counters()
+        assert out.total_injections == ref.total_injections
+        assert out.transitions_evaluated == ref.transitions_evaluated
+
+    def test_random_multi_fault_falls_back_to_generic_path(self):
+        """Multi-fault jobs have no array form; the generic stream must serve
+        the numpy engine with identical counters."""
+        structure = _protect(random_fsm(29, num_states=4))
+        scenario = RandomMultiFault(num_faults=2, trials=80, seed=5, effects=ALL_EFFECTS)
+        ref = FaultCampaign(structure, engine="parallel").run(scenario)
+        out = FaultCampaign(structure, engine="parallel-numpy").run(scenario)
+        assert out.counters() == ref.counters()
+
+    def test_keep_outcomes_matches_bignum(self):
+        structure = _protect(random_fsm(41, num_states=4))
+        scenario = ExhaustiveSingleFault(target_nets="comb", effects=ALL_EFFECTS)
+        ref = FaultCampaign(structure, engine="parallel", keep_outcomes=True).run(scenario)
+        out = FaultCampaign(structure, engine="parallel-numpy", keep_outcomes=True).run(scenario)
+        assert out.outcomes == ref.outcomes
+
+    def test_ibex_comb_cloud_regression(self):
+        structure = _protect(ibex_lsu_fsm())
+        result = FaultCampaign(structure, engine="parallel-numpy").run(
+            ExhaustiveSingleFault(target_nets="comb")
+        )
+        assert result.counters() == IBEX_COMB_COUNTERS
