@@ -20,16 +20,20 @@ Three enforced floors:
   tentpole), again with bit-identical counters always asserted and the
   timing floor skipped on single-core runners.
 
+A fifth case tracks temporal campaigns: a 4-cycle persistent stuck-at sweep
+(ISSUE 7 tentpole) must cost at most ``BENCH_MAX_CYCLE_OVERHEAD`` times the
+1-cycle sweep (ideal 4.0x -- four evaluates per trace).
+
 Shared CI runners are noisy, so every floor can be overridden per run via
 environment variables (``BENCH_MIN_SPEEDUP``,
 ``BENCH_MIN_CONTEXT_PACKING_SPEEDUP``, ``BENCH_MIN_WORKERS_SPEEDUP``,
-``BENCH_MIN_NUMPY_SPEEDUP``); the defaults below are the enforced values and
-CI pins them explicitly.
+``BENCH_MIN_NUMPY_SPEEDUP``, ``BENCH_MAX_CYCLE_OVERHEAD``); the defaults
+below are the enforced values and CI pins them explicitly.
 
-The numpy benchmark additionally emits a machine-readable
-``BENCH_parallel.json`` (per-engine wall times and speedups; path
-overridable via ``BENCH_PARALLEL_JSON``) so the perf trajectory is tracked
-across PRs.
+The numpy and temporal benchmarks additionally emit a machine-readable
+``BENCH_parallel.json`` (per-case wall times and speedups, merged by case
+name; path overridable via ``BENCH_PARALLEL_JSON``) so the perf trajectory
+is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -82,11 +86,39 @@ MIN_WORKERS_SPEEDUP = _env_floor("BENCH_MIN_WORKERS_SPEEDUP", 2.0)
 #: on a wide (>= 1024-lane) campaign (ISSUE 6 acceptance criterion).
 MIN_NUMPY_SPEEDUP = _env_floor("BENCH_MIN_NUMPY_SPEEDUP", 3.0)
 
+#: Ceiling on the per-trace cost ratio of a 4-cycle temporal campaign over
+#: the 1-cycle campaign (ideal = 4.0: four evaluates per trace; the floor
+#: leaves headroom for the per-cycle feedback bookkeeping on noisy runners).
+MAX_CYCLE_OVERHEAD = _env_floor("BENCH_MAX_CYCLE_OVERHEAD", 8.0)
+
 #: Worker processes of the sharded benchmark case.
 BENCH_WORKERS = 4
 
-#: Machine-readable per-engine timing record emitted by the numpy benchmark.
+#: Machine-readable per-case timing records emitted by the benchmarks.
 BENCH_JSON_PATH = os.environ.get("BENCH_PARALLEL_JSON", "").strip() or "BENCH_parallel.json"
+
+
+def _write_bench_record(case: str, record: dict) -> None:
+    """Merge one case's record into ``BENCH_parallel.json``.
+
+    Records are keyed by case name so the temporal and wide-campaign cases
+    can both land in the same artifact without clobbering each other,
+    whichever subset of benchmarks a run selects.
+    """
+    data: dict = {}
+    if os.path.exists(BENCH_JSON_PATH):
+        try:
+            with open(BENCH_JSON_PATH) as handle:
+                existing = json.load(handle)
+            if isinstance(existing, dict):
+                # Legacy single-record files carried their case name inline.
+                data = existing if "case" not in existing else {existing["case"]: existing}
+        except (OSError, ValueError):
+            data = {}
+    data[case] = dict(record, case=case)
+    with open(BENCH_JSON_PATH, "w") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
 
 
 def _usable_cpus() -> int:
@@ -284,8 +316,7 @@ def test_bench_numpy_wide_campaign(benchmark, once):
           f"({results['parallel-numpy'].total_injections} injections, "
           f"{numpy_campaign.lane_width} lanes)")
 
-    record = {
-        "case": "numpy_wide_campaign",
+    _write_bench_record("numpy_wide_campaign", {
         "netlist": structure.netlist.name,
         "total_injections": results["parallel-numpy"].total_injections,
         "numpy_lane_width": numpy_campaign.lane_width,
@@ -296,10 +327,7 @@ def test_bench_numpy_wide_campaign(benchmark, once):
         },
         "floor": MIN_NUMPY_SPEEDUP,
         "usable_cpus": _usable_cpus(),
-    }
-    with open(BENCH_JSON_PATH, "w") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    })
 
     oracle = results["parallel"].counters()
     for name in ("parallel-compiled", "parallel-numpy"):
@@ -311,6 +339,67 @@ def test_bench_numpy_wide_campaign(benchmark, once):
         pytest.skip(f"timing floor needs >= 2 usable CPUs, found {cpus} (counters verified)")
     assert speedup >= MIN_NUMPY_SPEEDUP, (
         f"numpy engine speedup {speedup:.1f}x below {MIN_NUMPY_SPEEDUP}x"
+    )
+
+
+def test_bench_temporal_cycle_scaling(benchmark, once, ibex_structure):
+    """Multi-cycle traces must cost roughly cycles-x, not blow up per cycle.
+
+    The workload is the committed acceptance shape: a persistent stuck-at
+    campaign over the ibex_lsu diffusion layer, run as 1-cycle and 4-cycle
+    temporal traces on the numpy engine.  A 4-cycle trace does four
+    evaluates with register feedback, so the ideal cost ratio is 4.0; the
+    enforced ceiling (``BENCH_MAX_CYCLE_OVERHEAD``) leaves headroom for the
+    feedback bookkeeping and runner noise.  Counter equality between the
+    bignum and numpy engines is asserted on every machine, and the measured
+    cycle-scaling lands in ``BENCH_parallel.json``.
+    """
+    from repro.fi.orchestrator import TemporalSingleFault
+
+    effects = (FaultEffect.STUCK_AT_0, FaultEffect.STUCK_AT_1)
+
+    def scenario(cycles):
+        return TemporalSingleFault(
+            target_nets="diffusion", effects=effects, cycles=cycles, duration="persistent"
+        )
+
+    def best_of(campaign, cycles, reps):
+        campaign.run(scenario(cycles))  # warm compiled netlist, plan cache
+        best = float("inf")
+        result = None
+        for _ in range(reps):
+            start = time.perf_counter()
+            result = campaign.run(scenario(cycles))
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    numpy_campaign = FaultCampaign(ibex_structure, engine="parallel-numpy")
+    one_seconds, one_result = best_of(numpy_campaign, cycles=1, reps=10)
+    once(benchmark, numpy_campaign.run, scenario(4))
+    four_seconds, four_result = best_of(numpy_campaign, cycles=4, reps=10)
+
+    bignum = FaultCampaign(ibex_structure).run(scenario(4))
+    assert bignum.counters() == four_result.counters(), (
+        "temporal counters diverge between the bignum and numpy engines"
+    )
+
+    overhead = four_seconds / max(one_seconds, 1e-9)
+    print()
+    print(f"  1 cycle:  {one_seconds * 1e3:7.2f} ms  {one_result.format()}")
+    print(f"  4 cycles: {four_seconds * 1e3:7.2f} ms  {four_result.format()}")
+    print(f"  cycle scaling: {overhead:.2f}x (ideal 4.0x, ceiling {MAX_CYCLE_OVERHEAD}x)")
+
+    _write_bench_record("temporal_cycle_scaling", {
+        "netlist": ibex_structure.netlist.name,
+        "total_injections": four_result.total_injections,
+        "cycles": {"1": {"seconds": one_seconds}, "4": {"seconds": four_seconds}},
+        "cycle_overhead_4x": overhead,
+        "ceiling": MAX_CYCLE_OVERHEAD,
+        "usable_cpus": _usable_cpus(),
+    })
+
+    assert overhead <= MAX_CYCLE_OVERHEAD, (
+        f"4-cycle temporal overhead {overhead:.2f}x above {MAX_CYCLE_OVERHEAD}x"
     )
 
 

@@ -27,11 +27,14 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Mapping
 
 from repro.core.structure import ScfiNetlist
+from repro.fi.behavioral import BehavioralBitFlip
 from repro.fi.model import FaultEffect
 from repro.fi.orchestrator import (
     ExhaustiveSingleFault,
     FaultCampaign,
+    MultiShotGlitch,
     RandomMultiFault,
+    TemporalSingleFault,
     effect_sweep_scenarios,
     region_sweep_scenarios,
 )
@@ -48,7 +51,22 @@ _FLIP_ONLY = (FaultEffect.TRANSIENT_FLIP,)
 _ALL_EFFECTS = tuple(FaultEffect)
 
 
+def _single_cycle_only(spec: CampaignSpec, name: str) -> None:
+    """Classic scenarios evaluate exactly one transition per injection."""
+    if spec.cycles != 1:
+        raise ValueError(
+            f"the {name!r} scenario is single-cycle; use scenario='temporal' "
+            f"(or 'glitch') for cycles={spec.cycles} traces"
+        )
+    if spec.glitch_schedule is not None:
+        raise ValueError(
+            f"the {name!r} scenario does not take a glitch_schedule; "
+            "use scenario='glitch'"
+        )
+
+
 def _build_exhaustive(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, object]:
+    _single_cycle_only(spec, "exhaustive")
     return {
         "exhaustive": ExhaustiveSingleFault(
             target_nets=spec.target if spec.target is not None else "diffusion",
@@ -58,6 +76,7 @@ def _build_exhaustive(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, o
 
 
 def _build_random(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, object]:
+    _single_cycle_only(spec, "random")
     return {
         "random": RandomMultiFault(
             num_faults=spec.faults,
@@ -70,6 +89,7 @@ def _build_random(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, objec
 
 
 def _build_effects(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, object]:
+    _single_cycle_only(spec, "effects")
     return effect_sweep_scenarios(
         effects=spec.resolved_effects(_ALL_EFFECTS),
         target_nets=spec.target if spec.target is not None else "diffusion",
@@ -77,10 +97,59 @@ def _build_effects(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, obje
 
 
 def _build_regions(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, object]:
+    _single_cycle_only(spec, "regions")
     if spec.target is not None:
         raise ValueError("the 'regions' scenario sweeps the fixed FT1/FT2/FT3 "
                          "net groups; 'target' must stay unset")
     return region_sweep_scenarios(structure, effects=spec.resolved_effects(_FLIP_ONLY))
+
+
+def _build_temporal(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, object]:
+    if spec.glitch_schedule is not None:
+        raise ValueError("the 'temporal' scenario holds one fault per trace; "
+                         "use scenario='glitch' for a glitch_schedule")
+    return {
+        "temporal": TemporalSingleFault(
+            target_nets=spec.target if spec.target is not None else "diffusion",
+            effects=spec.resolved_effects(_FLIP_ONLY),
+            cycles=spec.cycles,
+            duration=spec.fault_duration,
+        )
+    }
+
+
+def _build_glitch(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, object]:
+    if not spec.glitch_schedule:
+        raise ValueError("the 'glitch' scenario needs a glitch_schedule of "
+                         "(cycle, net, effect) triples")
+    if spec.target is not None:
+        raise ValueError("the 'glitch' scenario targets the nets named in its "
+                         "glitch_schedule; 'target' must stay unset")
+    return {
+        "glitch": MultiShotGlitch(
+            glitches=tuple(
+                (cycle, net, FaultEffect(effect))
+                for cycle, net, effect in spec.glitch_schedule
+            ),
+            cycles=spec.cycles,
+        )
+    }
+
+
+def _build_bitflip(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, object]:
+    _single_cycle_only(spec, "bitflip")
+    if spec.target is not None:
+        raise ValueError("the 'bitflip' scenario draws over the behavioural "
+                         "FT1/FT2 position groups; 'target' must stay unset")
+    if spec.effects is not None and tuple(spec.effects) != ("flip",):
+        raise ValueError("the 'bitflip' scenario models bit flips only")
+    return {
+        "bitflip": BehavioralBitFlip(
+            num_faults=spec.faults,
+            trials=spec.trials,
+            seed=spec.seed,
+        )
+    }
 
 
 #: name -> scenario builder.  Extend via :func:`register_scenario`.
@@ -89,6 +158,9 @@ SCENARIO_REGISTRY: Dict[str, ScenarioBuilder] = {
     "random": _build_random,
     "effects": _build_effects,
     "regions": _build_regions,
+    "temporal": _build_temporal,
+    "glitch": _build_glitch,
+    "bitflip": _build_bitflip,
 }
 
 

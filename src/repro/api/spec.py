@@ -31,6 +31,9 @@ SPEC_VERSION = 1
 #: Valid fault-effect wire names ("flip", "stuck0", "stuck1").
 EFFECT_NAMES = tuple(effect.value for effect in FaultEffect)
 
+#: Valid temporal fault durations for multi-cycle campaigns.
+FAULT_DURATIONS = ("transient", "persistent")
+
 
 def canonical_json(data: Any) -> str:
     """The canonical JSON serialization used for hashing: sorted keys, no
@@ -143,6 +146,14 @@ class CampaignSpec:
     ``parallel-numpy``); pin it explicitly for hash-stable specs.
     ``compare=True`` additionally replays the campaign on the cross-check
     engine and records whether the counters agree.
+
+    Temporal campaigns span ``cycles`` clock edges per injection:
+    ``fault_duration`` picks between a *transient* fault (active for one cycle
+    only) and a *persistent* stuck-at held across the whole trace, while
+    ``glitch_schedule`` -- a tuple of ``(cycle, net, effect)`` triples -- drives
+    the multi-shot ``glitch`` scenario instead.  All three default to the
+    classic single-cycle shape and are omitted from the serialized form at
+    their defaults, so pre-temporal spec hashes are unchanged.
     """
 
     scenario: str = "exhaustive"
@@ -156,6 +167,9 @@ class CampaignSpec:
     workers: int = 1
     pack_contexts: bool = True
     compare: bool = False
+    cycles: int = 1
+    fault_duration: str = "transient"
+    glitch_schedule: Optional[Tuple[Tuple[int, str, str], ...]] = None
 
     def __post_init__(self) -> None:
         if self.effects is not None:
@@ -172,10 +186,50 @@ class CampaignSpec:
             raise ValueError("faults must be >= 1")
         if self.trials < 0:
             raise ValueError("trials must be >= 0")
-        if self.lane_width is not None and self.lane_width < 1:
-            raise ValueError("lane_width must be >= 1")
+        if self.lane_width is not None and (
+            not isinstance(self.lane_width, int)
+            or isinstance(self.lane_width, bool)
+            or self.lane_width < 1
+        ):
+            raise ValueError(
+                f"lane_width must be an integer >= 1, got {self.lane_width!r} "
+                "(every engine accepts any positive lane count; leave it None "
+                "for the engine default)"
+            )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if not isinstance(self.cycles, int) or isinstance(self.cycles, bool) or self.cycles < 1:
+            raise ValueError(f"cycles must be an integer >= 1, got {self.cycles!r}")
+        if self.fault_duration not in FAULT_DURATIONS:
+            raise ValueError(
+                f"unknown fault_duration {self.fault_duration!r} "
+                f"(known: {', '.join(FAULT_DURATIONS)})"
+            )
+        if self.glitch_schedule is not None:
+            shots = []
+            for entry in self.glitch_schedule:
+                entry = tuple(entry)
+                if len(entry) != 3:
+                    raise ValueError(
+                        f"glitch_schedule entries must be (cycle, net, effect) "
+                        f"triples, got {entry!r}"
+                    )
+                cycle, net, effect = entry
+                if not isinstance(cycle, int) or isinstance(cycle, bool) or cycle < 0:
+                    raise ValueError(f"glitch cycle must be an integer >= 0, got {cycle!r}")
+                if cycle >= self.cycles:
+                    raise ValueError(
+                        f"glitch cycle {cycle} is outside the {self.cycles}-cycle "
+                        "trace (raise 'cycles')"
+                    )
+                if not isinstance(net, str) or not net:
+                    raise ValueError(f"glitch net must be a non-empty net name, got {net!r}")
+                if effect not in EFFECT_NAMES:
+                    raise ValueError(
+                        f"unknown glitch effect {effect!r} (known: {', '.join(EFFECT_NAMES)})"
+                    )
+                shots.append((cycle, net, effect))
+            object.__setattr__(self, "glitch_schedule", tuple(shots))
 
     def resolved_effects(self, default: Sequence[FaultEffect]) -> Tuple[FaultEffect, ...]:
         """The requested :class:`FaultEffect` tuple, or ``default`` when unset."""
@@ -187,11 +241,25 @@ class CampaignSpec:
         data = asdict(self)
         data["effects"] = list(self.effects) if self.effects is not None else None
         data["target"] = list(self.target) if isinstance(self.target, tuple) else self.target
+        # Temporal fields appear only when they deviate from the classic
+        # single-cycle shape, keeping pre-temporal content hashes stable.
+        if self.cycles == 1:
+            del data["cycles"]
+        if self.fault_duration == "transient":
+            del data["fault_duration"]
+        if self.glitch_schedule is None:
+            del data["glitch_schedule"]
+        else:
+            data["glitch_schedule"] = [list(shot) for shot in self.glitch_schedule]
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
         _check_known_keys(cls, data)
+        data = dict(data)
+        schedule = data.get("glitch_schedule")
+        if schedule is not None:
+            data["glitch_schedule"] = tuple(tuple(shot) for shot in schedule)
         return cls(**data)
 
 

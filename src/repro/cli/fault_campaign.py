@@ -16,7 +16,13 @@ Modes:
 * ``effects``    -- the exhaustive sweep once per fault effect
   (transient flip, stuck-at-0, stuck-at-1);
 * ``regions``    -- per-target-region FT1/FT2/FT3 sweeps at netlist level;
-* ``behavioral`` -- fast pre-netlist input-fault sampling (Section 6.3).
+* ``behavioral`` -- fast pre-netlist input-fault sampling (Section 6.3);
+* ``temporal``   -- multi-cycle traces (``--cycles``) with transient or
+  persistent faults (``--fault-duration``) and register feedback;
+* ``bitflip``    -- the behavioural FT1/FT2 campaign re-expressed as a
+  structural scenario on the shared engines;
+* ``glitch``     -- multi-shot ``(cycle, net, effect)`` schedules, spec-file
+  driven via ``scfi run``.
 """
 
 from __future__ import annotations
@@ -116,6 +122,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--faults", type=int, default=2, help="simultaneous faults (random/behavioral)")
     parser.add_argument("--trials", type=int, default=1000, help="trials (random/behavioral)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cycles",
+        type=_positive_int,
+        default=1,
+        help="clock cycles per injection trace (temporal mode): the netlist "
+        "is stepped with register feedback and classified on the final state "
+        "(default 1 = the classic single-transition campaigns)",
+    )
+    parser.add_argument(
+        "--fault-duration",
+        choices=["transient", "persistent"],
+        default="transient",
+        help="temporal mode: inject during one cycle only (transient) or hold "
+        "the fault for the whole trace (persistent stuck-at, the laser/glitch "
+        "model)",
+    )
     return parser
 
 
@@ -135,6 +157,8 @@ def spec_from_args(args) -> ExperimentSpec:
             lane_width=args.lane_width,
             workers=args.workers,
             compare=args.compare,
+            cycles=args.cycles,
+            fault_duration=args.fault_duration,
         ),
     )
 
@@ -159,6 +183,13 @@ def main(argv=None) -> int:
     if args.mode == "regions" and args.target is not None:
         parser.error("--target applies to exhaustive/random/effects; regions sweep "
                      "the fixed FT1/FT2/FT3 net groups")
+    if args.mode == "glitch":
+        parser.error("the glitch scenario needs a (cycle, net, effect) schedule; "
+                     "describe it in a spec file and run it via 'scfi run'")
+    if args.cycles != 1 and args.mode != "temporal":
+        parser.error(f"--cycles applies to --mode temporal, not --mode {args.mode}")
+    if args.fault_duration != "transient" and args.mode != "temporal":
+        parser.error(f"--fault-duration applies to --mode temporal, not --mode {args.mode}")
 
     result = Session().run(spec_from_args(args))
     if result.behavioral is not None:

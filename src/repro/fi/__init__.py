@@ -7,7 +7,9 @@ from repro.fi.orchestrator import (
     CampaignResult,
     ExhaustiveSingleFault,
     FaultCampaign,
+    MultiShotGlitch,
     RandomMultiFault,
+    TemporalSingleFault,
     effect_sweep_scenarios,
     region_sweep_scenarios,
     scfi_fault_regions,
@@ -16,7 +18,11 @@ from repro.fi.campaign import (
     exhaustive_single_fault_campaign,
     random_multi_fault_campaign,
 )
-from repro.fi.behavioral import behavioral_fault_campaign, BehavioralCampaignResult
+from repro.fi.behavioral import (
+    BehavioralBitFlip,
+    BehavioralCampaignResult,
+    behavioral_fault_campaign,
+)
 
 __all__ = [
     "Fault",
@@ -30,7 +36,10 @@ __all__ = [
     "CampaignResult",
     "FaultCampaign",
     "ExhaustiveSingleFault",
+    "TemporalSingleFault",
+    "MultiShotGlitch",
     "RandomMultiFault",
+    "BehavioralBitFlip",
     "effect_sweep_scenarios",
     "region_sweep_scenarios",
     "scfi_fault_regions",

@@ -10,13 +10,14 @@ probability of an attacker stays tiny even for multi-bit faults).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.hardened import HardenedFsm
 from repro.fi.activate import activating_inputs
-from repro.fi.model import Classification
+from repro.fi.model import Classification, Fault, FaultEffect
 from repro.fsm.cfg import control_flow_edges
 
 #: Fault-target groups selectable in behavioural campaigns.
@@ -90,6 +91,35 @@ class BehavioralCampaignResult:
         )
 
 
+def fault_positions(hardened: HardenedFsm, targets: Sequence[str]) -> List[tuple]:
+    """Individually flippable bit positions of the selected target groups.
+
+    This enumeration order is the contract shared by the behavioural sampler
+    and the structural :class:`BehavioralBitFlip` re-expression: both draw
+    from the same seeded stream over the same position list, which is what
+    makes their counters comparable trial for trial.
+    """
+    unknown = set(targets) - {TARGET_STATE, TARGET_CONTROL, TARGET_PHI_INPUT, TARGET_DIFFUSION}
+    if unknown:
+        raise ValueError(f"unknown fault targets: {sorted(unknown)}")
+    fsm = hardened.fsm
+    positions: List[tuple] = []
+    if TARGET_STATE in targets:
+        positions.extend((TARGET_STATE, bit) for bit in range(hardened.state_width))
+    if TARGET_CONTROL in targets:
+        replication = hardened.protection_level
+        for signal in fsm.inputs:
+            for bit in range(signal.width * replication):
+                positions.append((TARGET_CONTROL, (signal.name, bit)))
+    if TARGET_PHI_INPUT in targets:
+        positions.extend((TARGET_PHI_INPUT, bit) for bit in range(hardened.control_width))
+    if TARGET_DIFFUSION in targets:
+        for block in hardened.layout.blocks:
+            for position in block.target_positions:
+                positions.append((TARGET_DIFFUSION, (block.index, position)))
+    return positions
+
+
 def behavioral_fault_campaign(
     hardened: HardenedFsm,
     num_faults: int,
@@ -105,9 +135,6 @@ def behavioral_fault_campaign(
     """
     if num_faults < 1:
         raise ValueError("num_faults must be >= 1")
-    unknown = set(targets) - {TARGET_STATE, TARGET_CONTROL, TARGET_PHI_INPUT, TARGET_DIFFUSION}
-    if unknown:
-        raise ValueError(f"unknown fault targets: {sorted(unknown)}")
 
     fsm = hardened.fsm
     contexts = []
@@ -118,21 +145,7 @@ def behavioral_fault_campaign(
     if not contexts:
         raise ValueError("the FSM has no reachable transitions")
 
-    # Enumerate the individually flippable bit positions per target group.
-    positions: List[tuple] = []
-    if TARGET_STATE in targets:
-        positions.extend((TARGET_STATE, bit) for bit in range(hardened.state_width))
-    if TARGET_CONTROL in targets:
-        replication = hardened.protection_level
-        for signal in fsm.inputs:
-            for bit in range(signal.width * replication):
-                positions.append((TARGET_CONTROL, (signal.name, bit)))
-    if TARGET_PHI_INPUT in targets:
-        positions.extend((TARGET_PHI_INPUT, bit) for bit in range(hardened.control_width))
-    if TARGET_DIFFUSION in targets:
-        for block in hardened.layout.blocks:
-            for position in block.target_positions:
-                positions.append((TARGET_DIFFUSION, (block.index, position)))
+    positions = fault_positions(hardened, targets)
     if len(positions) < num_faults:
         raise ValueError("not enough fault positions for the requested fault count")
 
@@ -183,6 +196,18 @@ def behavioral_fault_campaign(
     return result
 
 
+def sweep_seed(seed: int, fault_count: int) -> int:
+    """Decorrelated per-count campaign seed for :func:`sweep_fault_counts`.
+
+    The historical ``seed + fault_count`` derivation made sweeps at adjacent
+    base seeds reuse identical trial streams (``seed=0, n=3`` drew the same
+    trials as ``seed=1, n=2``); hashing the pair keeps every (seed, count)
+    stream independent while staying deterministic across processes.
+    """
+    digest = hashlib.sha256(f"{seed}:{fault_count}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 def sweep_fault_counts(
     hardened: HardenedFsm,
     fault_counts: Sequence[int],
@@ -192,6 +217,90 @@ def sweep_fault_counts(
 ) -> Dict[int, BehavioralCampaignResult]:
     """Run :func:`behavioral_fault_campaign` for several fault multiplicities."""
     return {
-        n: behavioral_fault_campaign(hardened, n, trials, targets=targets, seed=seed + n)
+        n: behavioral_fault_campaign(
+            hardened, n, trials, targets=targets, seed=sweep_seed(seed, n)
+        )
         for n in fault_counts
     }
+
+
+@dataclass
+class BehavioralBitFlip:
+    """The FT1/FT2 behavioural bit-flip campaign as a structural scenario.
+
+    Re-expresses :func:`behavioral_fault_campaign` on the netlist-level
+    campaign pipeline: the same seeded stream draws the same (transition,
+    position) pairs, but every drawn bit position is lowered to its netlist
+    fault target -- encoded state register outputs for ``state``, encoded
+    primary-input nets for ``control``, selected control-word nets for
+    ``phi_input`` -- and injected as a 1-cycle transient flip through the
+    shared plan/execute engines.  ``diffusion`` positions address extracted
+    MDS output bits with no single corresponding net and are rejected.
+
+    With this scenario the behavioural and structural paths share scenarios,
+    planning, sharding and reports; the behavioural sampler remains as the
+    fast pre-netlist oracle its parity test checks against.
+    """
+
+    num_faults: int
+    trials: int
+    targets: Sequence[str] = (TARGET_STATE, TARGET_CONTROL)
+    seed: int = 0
+    cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_faults < 1:
+            raise ValueError("num_faults must be >= 1")
+        if self.trials < 0:
+            raise ValueError("trials must be >= 0")
+        self.targets = tuple(self.targets)
+        if TARGET_DIFFUSION in self.targets:
+            raise ValueError(
+                "the 'diffusion' behavioural target addresses extracted MDS "
+                "output bits with no single netlist fault net; use a structural "
+                "scenario with target 'diffusion' instead"
+            )
+
+    def describe(self) -> str:
+        return f"behavioural bit-flip re-expression ({self.num_faults}-fault)"
+
+    def annotate(self, result, campaign) -> None:
+        result.target_nets = len(fault_positions(campaign.structure.hardened, self.targets))
+
+    def _position_nets(self, campaign) -> List[str]:
+        """The netlist fault net of every behavioural bit position, in order."""
+        structure = campaign.structure
+        hardened = structure.hardened
+        nets: List[str] = []
+        for group, where in fault_positions(hardened, self.targets):
+            if group == TARGET_STATE:
+                nets.append(structure.state_q[where])
+            elif group == TARGET_CONTROL:
+                signal_name, bit = where
+                nets.append(structure.input_bits[signal_name][bit])
+            else:  # TARGET_PHI_INPUT
+                nets.append(structure.control_nets[where])
+        return nets
+
+    def jobs(self, campaign) -> Iterator[Tuple[int, Tuple[Fault, ...]]]:
+        nets = self._position_nets(campaign)
+        if len(nets) < self.num_faults:
+            raise ValueError("not enough fault positions for the requested fault count")
+        if not campaign.contexts:
+            raise ValueError("the FSM has no reachable transitions")
+        # Draw for draw the behavioural protocol: transition index, then the
+        # fault positions -- sampled over *positions* so the stream matches
+        # behavioral_fault_campaign at equal seeds.
+        positions = list(range(len(nets)))
+        rng = random.Random(self.seed)
+        drawn: List[Tuple[int, Tuple[Fault, ...]]] = []
+        for _ in range(self.trials):
+            index = rng.randrange(len(campaign.contexts))
+            chosen = rng.sample(positions, self.num_faults)
+            faults = tuple(
+                Fault(net=nets[position], effect=FaultEffect.TRANSIENT_FLIP)
+                for position in chosen
+            )
+            drawn.append((index, faults))
+        drawn.sort(key=lambda job: job[0])
+        return iter(drawn)

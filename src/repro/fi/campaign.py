@@ -58,10 +58,10 @@ def exhaustive_single_fault_campaign(
     the paper's formal analysis; pass ``"comb"`` (or an explicit net list) for
     a whole-next-state-logic campaign.
     """
-    campaign = FaultCampaign(
+    with FaultCampaign(
         structure, engine=engine, lane_width=lane_width, keep_outcomes=keep_outcomes
-    )
-    return campaign.run(ExhaustiveSingleFault(target_nets=target_nets, effects=effects))
+    ) as campaign:
+        return campaign.run(ExhaustiveSingleFault(target_nets=target_nets, effects=effects))
 
 
 def random_multi_fault_campaign(
@@ -77,11 +77,11 @@ def random_multi_fault_campaign(
     """Inject ``num_faults`` simultaneous random flips, ``trials`` times."""
     if num_faults < 1:
         raise ValueError("num_faults must be >= 1")
-    campaign = FaultCampaign(
+    with FaultCampaign(
         structure, engine=engine, lane_width=lane_width, keep_outcomes=keep_outcomes
-    )
-    if not campaign.contexts:
-        raise ValueError("the FSM has no reachable transitions")
-    return campaign.run(
-        RandomMultiFault(num_faults=num_faults, trials=trials, target_nets=target_nets, seed=seed)
-    )
+    ) as campaign:
+        if not campaign.contexts:
+            raise ValueError("the FSM has no reachable transitions")
+        return campaign.run(
+            RandomMultiFault(num_faults=num_faults, trials=trials, target_nets=target_nets, seed=seed)
+        )

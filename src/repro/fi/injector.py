@@ -15,7 +15,7 @@ which packs many injections per pass on the bit-parallel
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 from repro.core.structure import ScfiNetlist
 from repro.fi.model import Classification, Fault, FaultEffect, FaultOutcome, classify_observation
@@ -74,6 +74,37 @@ class ScfiFaultInjector:
             net: (state_code >> i) & 1 for i, net in enumerate(self.structure.state_q)
         }
         values = self.simulator.evaluate(encoded_inputs, faults=fault_set(faults), registers=registers)
+        return self.simulator.read_word(values, self.structure.state_d)
+
+    def trace_code(
+        self,
+        edge: CfgEdge,
+        inputs: Mapping[str, int],
+        cycle_faults: Sequence[Iterable[Fault]],
+    ) -> int:
+        """The state-register code after stepping ``len(cycle_faults)`` cycles.
+
+        Cycle ``t`` evaluates the combinational cloud with ``cycle_faults[t]``
+        active and feeds every flop's D-net value back as the next cycle's
+        register state; inputs are held constant across cycles.  This is the
+        scalar reference for the bit-parallel
+        :meth:`~repro.netlist.parallel.CompiledNetlist.step_cycles` path and
+        reduces to :meth:`next_code` at one cycle.
+        """
+        if not cycle_faults:
+            raise ValueError("at least one cycle is required")
+        encoded_inputs = self._context(edge, inputs)
+        state_code = self.hardened.state_encoding[edge.src]
+        registers = {
+            net: (state_code >> i) & 1 for i, net in enumerate(self.structure.state_q)
+        }
+        flops = self.structure.netlist.flops()
+        values: Mapping[str, int] = {}
+        for faults in cycle_faults:
+            values = self.simulator.evaluate(
+                encoded_inputs, faults=fault_set(faults), registers=registers
+            )
+            registers = {flop.output: values[flop.inputs[0]] for flop in flops}
         return self.simulator.read_word(values, self.structure.state_d)
 
     def classify(

@@ -429,6 +429,113 @@ class RandomMultiFault:
         return iter(drawn)
 
 
+#: Durations a temporal single-fault scenario understands: ``"transient"``
+#: injects at one cycle only, ``"persistent"`` holds the fault for the whole
+#: trace (the classic stuck-at model of laser/glitch attacks).
+FAULT_DURATIONS = ("persistent", "transient")
+
+
+@dataclass
+class TemporalSingleFault(ExhaustiveSingleFault):
+    """Exhaustive single-fault sweep over bounded multi-cycle traces.
+
+    Every (transition context, target net, effect) triple becomes one cycle
+    trace of ``cycles`` clock edges with register feedback: the fault is
+    active either during ``inject_cycle`` only (``duration="transient"``) or
+    for the whole trace (``duration="persistent"``), and the trace is
+    classified on its final state against the analytic fault-free trajectory.
+    At ``cycles=1`` the counters coincide with :class:`ExhaustiveSingleFault`
+    bit for bit -- the single-cycle campaigns are the ``N=1`` special case of
+    this scenario.
+    """
+
+    cycles: int = 1
+    duration: str = "transient"
+    inject_cycle: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.cycles, int) or isinstance(self.cycles, bool) or self.cycles < 1:
+            raise ValueError("cycles must be an integer >= 1")
+        if self.duration not in FAULT_DURATIONS:
+            raise ValueError(
+                f"unknown fault duration {self.duration!r} (choose from {FAULT_DURATIONS})"
+            )
+        if not 0 <= self.inject_cycle < self.cycles:
+            raise ValueError(
+                f"inject_cycle {self.inject_cycle} outside the {self.cycles}-cycle trace"
+            )
+
+    def describe(self) -> str:
+        return f"temporal {self.duration} single-fault ({self.cycles} cycles)"
+
+    def active_cycles(self) -> Tuple[int, ...]:
+        """The trace cycles during which every job's fault is active."""
+        if self.duration == "persistent":
+            return tuple(range(self.cycles))
+        return (self.inject_cycle,)
+
+    def jobs(self, campaign: "FaultCampaign") -> Iterator[InjectionJob]:
+        nets = self.resolved_nets(campaign)
+        # ``cycle=None`` marks a fault active in every cycle of the trace.
+        cycle = None if self.duration == "persistent" else self.inject_cycle
+        for index in range(len(campaign.contexts)):
+            for net in nets:
+                for effect in self.effects:
+                    yield index, (Fault(net=net, effect=effect, cycle=cycle),)
+
+
+@dataclass
+class MultiShotGlitch:
+    """One glitch schedule -- ``(cycle, net, effect)`` shots -- per context.
+
+    Models repeated/multi-shot injection equipment: every reachable
+    transition context runs one ``cycles``-long trace during which each shot
+    fires in its own cycle, and the final state is classified against the
+    analytic fault-free trajectory.  ``cycles`` defaults to just past the
+    last shot.
+    """
+
+    glitches: Sequence[Tuple[int, str, object]]
+    cycles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        shots = []
+        for cycle, net, effect in self.glitches:
+            if not isinstance(cycle, int) or isinstance(cycle, bool) or cycle < 0:
+                raise ValueError(f"glitch cycle {cycle!r} must be an integer >= 0")
+            shots.append((cycle, net, FaultEffect(effect)))
+        if not shots:
+            raise ValueError("a multi-shot glitch schedule needs at least one shot")
+        self.glitches = tuple(shots)
+        needed = max(cycle for cycle, _, _ in shots) + 1
+        if self.cycles is None:
+            self.cycles = needed
+        elif (
+            not isinstance(self.cycles, int)
+            or isinstance(self.cycles, bool)
+            or self.cycles < needed
+        ):
+            raise ValueError(
+                f"cycles={self.cycles!r} does not cover the last shot (needs >= {needed})"
+            )
+
+    def describe(self) -> str:
+        return f"multi-shot glitch ({len(self.glitches)} shots / {self.cycles} cycles)"
+
+    def annotate(self, result: CampaignResult, campaign: "FaultCampaign") -> None:
+        campaign.validate_target_nets(net for _, net, _ in self.glitches)
+        result.target_nets = len({net for _, net, _ in self.glitches})
+
+    def jobs(self, campaign: "FaultCampaign") -> Iterator[InjectionJob]:
+        faults = tuple(
+            Fault(net=net, effect=effect, cycle=cycle)
+            for cycle, net, effect in self.glitches
+        )
+        for index in range(len(campaign.contexts)):
+            yield index, faults
+
+
 def effect_sweep_scenarios(
     effects: Sequence[FaultEffect] = (
         FaultEffect.TRANSIENT_FLIP,
@@ -574,6 +681,31 @@ def _spec_fault_set(spec: _FaultSpec) -> FaultSet:
     return FaultSet(flips=frozenset(flips), stuck_at=stuck)
 
 
+#: Wire format of one temporal fault group: ((cycle-or-None, net, effect), ...).
+_TemporalFaultSpec = Tuple[Tuple[Optional[int], str, str], ...]
+#: Wire format of one temporal job: (context index, temporal fault group).
+_TemporalJobSpec = Tuple[int, _TemporalFaultSpec]
+
+
+def _temporal_job_specs(jobs: Sequence[InjectionJob]) -> List[_TemporalJobSpec]:
+    """Lower temporal jobs (cycle-annotated faults) to the wire format."""
+    return [
+        (
+            index,
+            tuple((fault.cycle, fault.net, fault.effect._value_) for fault in faults),
+        )
+        for index, faults in jobs
+    ]
+
+
+def _spec_temporal_faults(spec: _TemporalFaultSpec) -> Tuple[Fault, ...]:
+    """Rebuild the cycle-annotated fault group of one temporal wire spec."""
+    return tuple(
+        Fault(net=net, effect=FaultEffect(effect), cycle=cycle)
+        for cycle, net, effect in spec
+    )
+
+
 def _worker_init(
     structure: ScfiNetlist,
     engine: str,
@@ -659,6 +791,15 @@ def _worker_run_batch(task) -> _BatchReply:
     campaign = _WORKER_CAMPAIGN
     batch, ref = _resolve_worker_batch(handle)
     num_golden = len(batch.golden_contexts)
+    if payload[0] == "temporal":
+        _, cycles, specs = payload
+        batch_jobs = [(index, _spec_temporal_faults(spec)) for index, spec in specs]
+        rows = campaign._evaluate_temporal_batch(batch, cycles, batch_jobs)
+        if ref is not None and ref.codes_offset is not None:
+            shm_transport.write_codes(ref, [observed for _, observed, _ in rows])
+            counters, _ = _reply_from_rows(campaign, rows)
+            return counters, None
+        return _reply_from_rows(campaign, rows)
     if payload[0] == "arrays":
         _, contexts, net_rows, modes = payload
         codes = campaign._evaluate_batch_arrays(batch, net_rows, modes)
@@ -691,6 +832,14 @@ def _worker_run_scalar(specs: List[_JobSpec]) -> _BatchReply:
         for index, spec in specs
     ]
     return _reply_from_rows(campaign, campaign._evaluate_scalar(jobs))
+
+
+def _worker_run_temporal_scalar(task: Tuple[int, List[_TemporalJobSpec]]) -> _BatchReply:
+    """Replay one temporal job chunk on the worker's scalar reference injector."""
+    cycles, specs = task
+    campaign = _WORKER_CAMPAIGN
+    jobs = [(index, _spec_temporal_faults(spec)) for index, spec in specs]
+    return _reply_from_rows(campaign, campaign._evaluate_temporal_scalar(cycles, jobs))
 
 
 # ----------------------------------------------------------------------
@@ -738,8 +887,12 @@ class FaultCampaign:
             raise ValueError(f"unknown engine {engine!r} (choose from {self.ENGINES})")
         if lane_width is None:
             lane_width = ENGINE_INFO[engine].default_lane_width
-        if lane_width < 1:
-            raise ValueError("lane_width must be >= 1")
+        if not isinstance(lane_width, int) or isinstance(lane_width, bool) or lane_width < 1:
+            raise ValueError(
+                f"lane_width must be an integer >= 1, got {lane_width!r} "
+                f"(engine {engine!r} accepts any positive lane count; its default "
+                f"is {ENGINE_INFO[engine].default_lane_width})"
+            )
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.structure = structure
@@ -771,6 +924,13 @@ class FaultCampaign:
         self._ones: Dict[int, Tuple[List[str], List[str]]] = {}
         # Classification is a pure function of (context, observed code).
         self._classify_cache: Dict[Tuple[int, int], Tuple[Classification, Optional[str]]] = {}
+        # Analytic fault-free trajectories per context: (state, code) at each
+        # cycle, extended lazily as longer traces are requested.
+        self._trajectories: Dict[int, List[Tuple[str, int]]] = {}
+        # Temporal classification memo: (context, cycles, observed code).
+        self._classify_temporal_cache: Dict[
+            Tuple[int, int, int], Tuple[Classification, Optional[str]]
+        ] = {}
         # Plans keyed by job shape; contexts are fixed per campaign instance.
         self._plan_cache: Dict[Tuple, CampaignPlan] = {}
         self._plan_cache_jobs = 0
@@ -865,6 +1025,10 @@ class FaultCampaign:
             keep_outcomes=self.keep_outcomes,
         )
         scenario.annotate(result, self)
+        cycles = int(getattr(scenario, "cycles", 1) or 1)
+        if cycles > 1:
+            self._run_temporal(scenario, cycles, result)
+            return result
         arrays = self._scenario_job_arrays(scenario)
         if arrays is not None:
             if not arrays.num_jobs:
@@ -1148,6 +1312,327 @@ class FaultCampaign:
         chunks = [specs[i : i + chunk] for i in bounds]
         for start, reply in zip(bounds, pool.imap(_worker_run_scalar, chunks)):
             self._merge_reply(jobs[start : start + chunk], reply, result)
+
+    # ------------------------------------------------------------------
+    # Temporal (multi-cycle) execution
+    # ------------------------------------------------------------------
+    def _run_temporal(self, scenario, cycles: int, result: CampaignResult) -> None:
+        """Execute one multi-cycle scenario: bounded cycle traces per job.
+
+        Every job steps the compiled netlist ``cycles`` times with register
+        feedback (:meth:`~repro.netlist.parallel.CompiledNetlist.step_cycles`)
+        and is classified on its final state against the analytic fault-free
+        trajectory of its context.  Plans are shared with the single-cycle
+        paths -- the lane packing depends only on the job shape, never on the
+        trace length -- and sharded runs ship cycle traces over the same
+        shared-memory (or pickled) transport.
+        """
+        if (
+            self.workers == 1
+            and getattr(scenario, "active_cycles", None) is not None
+        ):
+            arrays = self._scenario_job_arrays(scenario)
+            if arrays is not None:
+                if not arrays.num_jobs:
+                    return
+                result.transitions_evaluated = int(np.unique(arrays.contexts).size)
+                plan = self.plan_jobs(arrays.contexts.tolist())
+                self._execute_temporal_plan_arrays(
+                    plan, arrays, cycles, frozenset(scenario.active_cycles()), result
+                )
+                return
+        jobs = list(self._validated_temporal_jobs(scenario.jobs(self), cycles))
+        result.transitions_evaluated = len({index for index, _ in jobs})
+        if not jobs:
+            return
+        if self.engine == "scalar":
+            if self.workers > 1:
+                self._execute_temporal_scalar_sharded(cycles, jobs, result)
+            else:
+                self._record_rows(jobs, self._evaluate_temporal_scalar(cycles, jobs), result)
+            return
+        plan = self.plan_jobs([index for index, _ in jobs])
+        if self.workers > 1:
+            self._execute_temporal_plan_sharded(plan, cycles, jobs, result)
+        else:
+            for batch in plan.batches:
+                batch_jobs = jobs[batch.start : batch.stop]
+                rows = self._evaluate_temporal_batch(batch, cycles, batch_jobs)
+                self._record_rows(batch_jobs, rows, result)
+
+    def _validated_temporal_jobs(
+        self, jobs: Iterable[InjectionJob], cycles: int
+    ) -> Iterator[InjectionJob]:
+        """Validate nets and fault cycles of a temporal job stream."""
+        for index, faults in self._validated_jobs(jobs):
+            for fault in faults:
+                if fault.cycle is not None and not 0 <= fault.cycle < cycles:
+                    raise ValueError(
+                        f"fault cycle {fault.cycle} outside the {cycles}-cycle trace"
+                    )
+            yield index, faults
+
+    def _cycle_fault_lanes(
+        self, batch_jobs: Sequence[InjectionJob], cycles: int, num_golden: int
+    ) -> List[List[Optional[FaultSet]]]:
+        """Per-cycle fault lane lists of one batch (golden lanes fault-free).
+
+        A fault with ``cycle=None`` is persistent (active every cycle);
+        otherwise it is active in its named cycle only.
+        """
+        per_cycle: List[List[Optional[FaultSet]]] = []
+        for cycle in range(cycles):
+            lanes: List[Optional[FaultSet]] = [None] * num_golden
+            for _, faults in batch_jobs:
+                active = [
+                    fault
+                    for fault in faults
+                    if fault.cycle is None or fault.cycle == cycle
+                ]
+                lanes.append(fault_set(active) if active else None)
+            per_cycle.append(lanes)
+        return per_cycle
+
+    def _evaluate_temporal_batch(
+        self, batch: PlannedBatch, cycles: int, batch_jobs: Sequence[InjectionJob]
+    ) -> List[_JobRow]:
+        """One multi-cycle pass over a planned batch: rows in job order.
+
+        Golden lanes are asserted against the analytic trajectory after the
+        final cycle; error/invalid states are sticky in the SCFI netlist, so
+        the final-state check subsumes the per-cycle ones.
+        """
+        num_golden = len(batch.golden_contexts)
+        cycle_lanes = self._cycle_fault_lanes(batch_jobs, cycles, num_golden)
+        if batch.input_words is None:
+            encoded, registers = self._context_vectors(batch.golden_contexts[0])
+            values = self.compiled.step_cycles(
+                encoded, cycle_lanes, registers=registers, use_source=self._use_source
+            )
+        else:
+            values = self.compiled.step_cycles(
+                batch.input_words,
+                cycle_lanes,
+                registers=batch.register_words,
+                lane_words=True,
+                use_source=self._use_source,
+            )
+        codes = values.read_words_by_id(self._state_d())
+        for lane, index in enumerate(batch.golden_contexts):
+            self._check_golden_temporal(index, cycles, codes[lane])
+        rows: List[_JobRow] = []
+        for lane, (index, _) in enumerate(batch_jobs, start=num_golden):
+            observed = codes[lane]
+            classification, observed_state = self._classify_temporal(index, cycles, observed)
+            rows.append((classification, observed, observed_state))
+        return rows
+
+    def _execute_temporal_plan_sharded(
+        self,
+        plan: CampaignPlan,
+        cycles: int,
+        jobs: List[InjectionJob],
+        result: CampaignResult,
+    ) -> None:
+        """Dispatch temporal batches to the pool (shm or pickled transport)."""
+        pool = self._ensure_pool()
+        specs = _temporal_job_specs(jobs)
+        payloads = [
+            ("temporal", cycles, specs[batch.start : batch.stop]) for batch in plan.batches
+        ]
+        segment = self._plan_segment(plan, want_codes=self.keep_outcomes)
+        handles = segment.refs if segment is not None else list(plan.batches)
+        try:
+            tasks = list(zip(handles, payloads))
+            for batch, handle, reply in zip(
+                plan.batches, handles, pool.imap(_worker_run_batch, tasks)
+            ):
+                batch_jobs = jobs[batch.start : batch.stop]
+                counters, rows = reply
+                if self.keep_outcomes and rows is None and segment is not None:
+                    self._record_rows(
+                        batch_jobs,
+                        self._temporal_rows_from_codes(
+                            cycles, batch_jobs, segment.codes_for(handle)
+                        ),
+                        result,
+                    )
+                else:
+                    self._merge_reply(batch_jobs, reply, result)
+        finally:
+            if segment is not None:
+                segment.close()
+
+    def _temporal_rows_from_codes(
+        self, cycles: int, batch_jobs: Sequence[InjectionJob], codes: "np.ndarray"
+    ) -> List[_JobRow]:
+        """Rebuild temporal outcome rows from shared-memory code slots."""
+        rows: List[_JobRow] = []
+        for (index, _), code in zip(batch_jobs, codes.tolist()):
+            classification, observed_state = self._classify_temporal(index, cycles, code)
+            rows.append((classification, code, observed_state))
+        return rows
+
+    def _execute_temporal_scalar_sharded(
+        self, cycles: int, jobs: List[InjectionJob], result: CampaignResult
+    ) -> None:
+        """Shard temporal scalar-oracle traces into contiguous chunks."""
+        pool = self._ensure_pool()
+        specs = _temporal_job_specs(jobs)
+        chunk = max(1, -(-len(jobs) // (self.workers * 4)))
+        bounds = range(0, len(jobs), chunk)
+        chunks = [(cycles, specs[i : i + chunk]) for i in bounds]
+        for start, reply in zip(bounds, pool.imap(_worker_run_temporal_scalar, chunks)):
+            self._merge_reply(jobs[start : start + chunk], reply, result)
+
+    def _evaluate_temporal_scalar(
+        self, cycles: int, jobs: Sequence[InjectionJob]
+    ) -> List[_JobRow]:
+        """Replay temporal jobs one trace at a time on the reference injector."""
+        rows: List[_JobRow] = []
+        for index, faults in jobs:
+            edge, inputs = self.contexts[index]
+            cycle_faults = [
+                tuple(
+                    fault
+                    for fault in faults
+                    if fault.cycle is None or fault.cycle == cycle
+                )
+                for cycle in range(cycles)
+            ]
+            observed = self.injector.trace_code(edge, inputs, cycle_faults)
+            classification, observed_state = self._classify_temporal(index, cycles, observed)
+            rows.append((classification, observed, observed_state))
+        return rows
+
+    def _execute_temporal_plan_arrays(
+        self,
+        plan: CampaignPlan,
+        arrays: JobArrays,
+        cycles: int,
+        active: frozenset,
+        result: CampaignResult,
+    ) -> None:
+        """In-process array-native temporal execution (numpy engine).
+
+        ``active`` names the cycles the per-job fault is live in -- uniform
+        across jobs for :class:`TemporalSingleFault`, which is the scenario
+        shape this fast path serves.
+        """
+        empty = (
+            np.empty(0, dtype=np.intp),
+            np.empty(0, dtype=np.uint64),
+            np.empty(0, dtype=np.uint8),
+        )
+        for batch in plan.batches:
+            num_golden = len(batch.golden_contexts)
+            num_lanes = num_golden + batch.num_jobs
+            lanes = np.arange(num_golden, num_lanes, dtype=np.uint64)
+            triple = (
+                arrays.net_rows[batch.start : batch.stop],
+                lanes,
+                arrays.modes[batch.start : batch.stop],
+            )
+            cycle_faults = [
+                triple if cycle in active else empty for cycle in range(cycles)
+            ]
+            if batch.input_words is None:
+                encoded, registers = self._context_vectors(batch.golden_contexts[0])
+                values = self.compiled.step_cycles_fault_arrays(
+                    encoded, cycle_faults, num_lanes, registers=registers
+                )
+            else:
+                values = self.compiled.step_cycles_fault_arrays(
+                    batch.input_words,
+                    cycle_faults,
+                    num_lanes,
+                    registers=batch.register_words,
+                    lane_words=True,
+                )
+            codes = values.code_array_by_id(self._state_d())
+            for lane, index in enumerate(batch.golden_contexts):
+                self._check_golden_temporal(index, cycles, int(codes[lane]))
+            counts = self._classified_counts_temporal(
+                cycles, arrays.contexts[batch.start : batch.stop], codes[num_golden:]
+            )
+            for classification, count in zip(_CLASSIFICATIONS, counts):
+                if count:
+                    result.tally_bulk(classification, count)
+
+    def _classified_counts_temporal(
+        self, cycles: int, job_contexts: "np.ndarray", codes: "np.ndarray"
+    ) -> List[int]:
+        """Vectorised per-classification counts of one temporal batch."""
+        state_bits = len(self.structure.state_d)
+        keys = (job_contexts.astype(np.uint64) << np.uint64(state_bits)) | codes
+        unique, inverse = np.unique(keys, return_inverse=True)
+        code_mask = (1 << state_bits) - 1
+        class_index = np.empty(unique.size, dtype=np.intp)
+        for i, key in enumerate(unique.tolist()):
+            index = key >> state_bits
+            classification, _ = self._classify_temporal(index, cycles, key & code_mask)
+            class_index[i] = _CLASSIFICATION_INDEX[classification]
+        counts = np.bincount(class_index[inverse], minlength=len(_CLASSIFICATIONS))
+        return counts.tolist()
+
+    def _trajectory(self, index: int, cycles: int) -> List[Tuple[str, int]]:
+        """The analytic fault-free trajectory of one context, ``cycles`` deep.
+
+        Entry ``t`` is the (state, encoded code) the golden lane holds after
+        ``t`` clock edges with the context's activating inputs held constant;
+        entry 1 is the context edge's destination by construction, and later
+        entries follow :meth:`HardenedFsm.next_state` (stay edges / guard
+        priority included), which the netlist implements gate for gate.
+        """
+        trajectory = self._trajectories.get(index)
+        if trajectory is None:
+            edge, _ = self.contexts[index]
+            encoding = self.hardened.state_encoding
+            trajectory = [(edge.src, encoding[edge.src]), (edge.dst, encoding[edge.dst])]
+            self._trajectories[index] = trajectory
+        if len(trajectory) <= cycles:
+            _, inputs = self.contexts[index]
+            while len(trajectory) <= cycles:
+                step = self.hardened.next_state(trajectory[-1][0], inputs)
+                trajectory.append((step.next_state, step.next_code))
+        return trajectory
+
+    def _temporal_golden(self, index: int, cycles: int) -> Tuple[int, frozenset]:
+        """(analytic final code, CFG successors of the pre-final state)."""
+        trajectory = self._trajectory(index, cycles)
+        prev_state = trajectory[cycles - 1][0]
+        return trajectory[cycles][1], self._successors.get(prev_state, frozenset())
+
+    def _check_golden_temporal(self, index: int, cycles: int, observed: int) -> int:
+        """Assert one golden lane against the analytic trajectory code."""
+        golden, _ = self._temporal_golden(index, cycles)
+        if observed != golden:
+            edge, _ = self.contexts[index]
+            raise RuntimeError(
+                f"bit-parallel golden lane diverged after {cycles} cycles on edge "
+                f"{edge.src}->{edge.dst}: expected {golden:#x}, simulated {observed:#x}"
+            )
+        return golden
+
+    def _classify_temporal(
+        self, index: int, cycles: int, observed: int
+    ) -> Tuple[Classification, Optional[str]]:
+        """Classify one trace's final code (memoised per context/length/code)."""
+        key = (index, cycles, observed)
+        cached = self._classify_temporal_cache.get(key)
+        if cached is None:
+            golden, successors = self._temporal_golden(index, cycles)
+            observed_state = self.hardened.decode_state(observed)
+            classification = classify_observation(
+                golden,
+                observed,
+                observed_state,
+                error_states=self._error_states,
+                cfg_successors=successors,
+            )
+            cached = (classification, observed_state)
+            self._classify_temporal_cache[key] = cached
+        return cached
 
     def _merge_reply(
         self, jobs: Sequence[InjectionJob], reply: _BatchReply, result: CampaignResult

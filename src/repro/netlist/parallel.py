@@ -466,6 +466,66 @@ class CompiledNetlist:
             values[out] = word
         return LaneValues(self.net_id, values, num_lanes)
 
+    def register_feedback(self, values: LaneValues) -> Dict[str, int]:
+        """Next-cycle register lane words captured from every flop's D net.
+
+        Feeding the returned mapping back as ``registers`` (with
+        ``lane_words=True``) advances the sequential state of every lane by
+        one clock edge -- the primitive behind :meth:`step_cycles`.
+        """
+        return {q_net: values._words[d_id] for q_net, d_id in self.flop_d_ids}
+
+    def step_cycles(
+        self,
+        inputs: Mapping[str, int],
+        cycle_fault_lanes: Sequence[Sequence[Optional[FaultSet]]],
+        registers: Optional[Mapping[str, int]] = None,
+        lane_words: bool = False,
+        use_source: bool = False,
+    ) -> LaneValues:
+        """Evaluate ``len(cycle_fault_lanes)`` clock cycles with register feedback.
+
+        ``cycle_fault_lanes[t]`` is the per-lane fault assignment active during
+        cycle ``t`` (every cycle must carry the same lane count); inputs are
+        held constant across cycles while registers advance through each
+        cycle's captured D-net words.  A *transient* fault appears in exactly
+        one cycle's lane list, a *persistent* stuck-at in all of them, and a
+        multi-shot glitch schedule in the cycles it names.  Returns the
+        :class:`LaneValues` of the final cycle, whose D nets hold the state
+        each lane would enter after the last clock edge.
+        """
+        if not cycle_fault_lanes:
+            raise ValueError("at least one cycle is required")
+        num_lanes = len(cycle_fault_lanes[0])
+        if num_lanes < 1:
+            raise ValueError("at least one lane is required")
+        if not lane_words:
+            # Broadcast scalar contexts to lane words once so every cycle --
+            # including the register-feedback cycles, whose register values
+            # are always lane words -- can run with ``lane_words=True``.
+            mask = (1 << num_lanes) - 1
+            inputs = {
+                net: (mask if int(value) & 1 else 0) for net, value in inputs.items()
+            }
+            if registers:
+                registers = {
+                    net: (mask if int(value) & 1 else 0)
+                    for net, value in registers.items()
+                }
+        values: Optional[LaneValues] = None
+        for fault_lanes in cycle_fault_lanes:
+            if len(fault_lanes) != num_lanes:
+                raise ValueError("every cycle must carry the same lane count")
+            values = self.evaluate(
+                inputs,
+                fault_lanes=fault_lanes,
+                registers=registers,
+                lane_words=True,
+                use_source=use_source,
+            )
+            registers = self.register_feedback(values)
+        return values
+
     def next_register_codes(
         self,
         inputs: Mapping[str, int],

@@ -386,6 +386,59 @@ class NumpyCompiledNetlist(CompiledNetlist):
             lane_words=lane_words,
         )
 
+    def register_feedback(self, values: NumpyLaneValues) -> Dict[str, np.ndarray]:
+        """Next-cycle register lane rows captured from every flop's D net.
+
+        The returned rows are views into the pass's value matrix; each
+        :meth:`evaluate` allocates a fresh matrix, so feeding them into the
+        next cycle is safe without copying.
+        """
+        return {q_net: values._values[d_id] for q_net, d_id in self.flop_d_ids}
+
+    def step_cycles_fault_arrays(
+        self,
+        inputs: Mapping[str, object],
+        cycle_faults: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        num_lanes: int,
+        registers: Optional[Mapping[str, object]] = None,
+        lane_words: bool = False,
+    ) -> NumpyLaneValues:
+        """Array-native multi-cycle evaluation with register feedback.
+
+        ``cycle_faults[t]`` is the flat ``(net ids, lanes, modes)`` fault
+        triple active during cycle ``t`` (empty arrays for a fault-free
+        cycle).  Matches :meth:`CompiledNetlist.step_cycles` semantics --
+        inputs held constant, registers advanced through each cycle's D-net
+        rows -- without any per-lane Python objects.
+        """
+        if not cycle_faults:
+            raise ValueError("at least one cycle is required")
+        if num_lanes < 1:
+            raise ValueError("at least one lane is required")
+        if not lane_words:
+            word = (1 << num_lanes) - 1
+            inputs = {
+                net: (word if int(value) & 1 else 0) for net, value in inputs.items()
+            }
+            if registers:
+                registers = {
+                    net: (word if int(value) & 1 else 0)
+                    for net, value in registers.items()
+                }
+        values: Optional[NumpyLaneValues] = None
+        for rows, lanes, modes in cycle_faults:
+            values = self.evaluate_fault_arrays(
+                inputs,
+                rows,
+                lanes,
+                modes,
+                num_lanes=num_lanes,
+                registers=registers,
+                lane_words=True,
+            )
+            registers = self.register_feedback(values)
+        return values
+
     def evaluate_fault_arrays(
         self,
         inputs: Mapping[str, object],

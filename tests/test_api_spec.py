@@ -136,3 +136,79 @@ class TestValidation:
         assert spec.campaign.workers == 4
         assert spec.campaign.engine == "parallel"
         assert spec.campaign.trials == full_spec().campaign.trials
+
+
+class TestTemporalSpecFields:
+    """The ISSUE 7 temporal fields: round-trip, hash stability, validation."""
+
+    def temporal_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            fsm=FsmSpec(name="ibex_lsu"),
+            campaign=CampaignSpec(
+                scenario="temporal",
+                target="diffusion",
+                effects=("stuck0", "stuck1"),
+                cycles=4,
+                fault_duration="persistent",
+                lane_width=256,
+            ),
+        )
+
+    def test_temporal_round_trip(self):
+        spec = self.temporal_spec()
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.content_hash() == spec.content_hash()
+
+    def test_glitch_schedule_round_trips_from_json_lists(self):
+        spec = ExperimentSpec(
+            fsm=FsmSpec(name="traffic_light"),
+            campaign=CampaignSpec(
+                scenario="glitch",
+                cycles=3,
+                glitch_schedule=[[0, "mds0_74", "flip"], (2, "mds0_75", "stuck1")],
+            ),
+        )
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.campaign.glitch_schedule == ((0, "mds0_74", "flip"), (2, "mds0_75", "stuck1"))
+
+    def test_default_temporal_fields_stay_out_of_the_wire_form(self):
+        """Pre-temporal specs must keep their content hashes: the new fields
+        are omitted from to_dict at their single-cycle defaults."""
+        data = full_spec().to_dict()
+        assert "cycles" not in data["campaign"]
+        assert "fault_duration" not in data["campaign"]
+        assert "glitch_schedule" not in data["campaign"]
+        assert ExperimentSpec.from_dict(data) == full_spec()
+
+    def test_committed_spec_hash_unchanged(self):
+        spec = ExperimentSpec.load("examples/experiment.json")
+        assert spec.content_hash() == (
+            "8e0e9a0a55c3b8bc15f66c466c480d5860e2a57bfff43cb5f3c7de1e572f0f5c"
+        )
+
+    def test_committed_temporal_spec_matches_golden_hash(self):
+        spec = ExperimentSpec.load("examples/temporal_experiment.json")
+        golden = json.load(open("examples/temporal_experiment.golden.json"))
+        assert spec.content_hash() == golden["spec_hash"]
+        assert spec.campaign.cycles == 4
+        assert spec.campaign.fault_duration == "persistent"
+
+    def test_temporal_bounds_validated(self):
+        with pytest.raises(ValueError, match="cycles"):
+            CampaignSpec(cycles=0)
+        with pytest.raises(ValueError, match="cycles"):
+            CampaignSpec(cycles=True)
+        with pytest.raises(ValueError, match="fault_duration"):
+            CampaignSpec(fault_duration="forever")
+        with pytest.raises(ValueError, match="outside"):
+            CampaignSpec(cycles=2, glitch_schedule=[(3, "net", "flip")])
+        with pytest.raises(ValueError, match="triples"):
+            CampaignSpec(cycles=2, glitch_schedule=[(0, "net")])
+        with pytest.raises(ValueError, match="effect"):
+            CampaignSpec(cycles=2, glitch_schedule=[(0, "net", "melt")])
+        with pytest.raises(ValueError, match="lane_width must be an integer"):
+            CampaignSpec(lane_width=2.5)
+        with pytest.raises(ValueError, match="lane_width must be an integer"):
+            CampaignSpec(lane_width=True)
