@@ -23,7 +23,10 @@ from repro.api.spec import (
     FsmSpec,
     ProtectSpec,
     ReportSpec,
+    campaign_stage_keys,
     canonical_json,
+    harden_stage_key,
+    stage_key,
 )
 
 __all__ = [
@@ -39,7 +42,10 @@ __all__ = [
     "Session",
     "available_engines",
     "available_scenarios",
+    "campaign_stage_keys",
     "canonical_json",
+    "harden_stage_key",
     "register_engine",
     "register_scenario",
+    "stage_key",
 ]

@@ -2,41 +2,92 @@
 
 A session resolves a declarative spec through the registries (FSMs in
 :mod:`repro.fsmlib.registry`, scenarios and engines in
-:mod:`repro.api.registry`), executes harden -> campaign -> classification and
-returns a serializable :class:`ExperimentResult` bundling the hardening
-summary, the per-scenario campaign counters and provenance (spec hash,
-engine, lane width, workers).  Progress is reported through an optional
-callback, so long campaigns can drive CLIs, notebooks or service frontends
-alike::
+:mod:`repro.api.registry`) and executes it as an explicit **staged pipeline**
+
+    harden -> plan -> campaign -> report
+
+where every stage declares its inputs as a content hash
+(:meth:`~repro.api.spec.ExperimentSpec.stage_hashes`) and its output as a
+serializable artifact.  Handing the session an
+:class:`~repro.store.ArtifactStore` memoises each stage independently: a
+changed :class:`~repro.api.spec.CampaignSpec` reuses the cached hardened
+netlist, an unchanged spec replays the stored counters without compiling
+anything, and a worker-count override recomputes nothing but the report.
+Without a store the pipeline degenerates to the original monolithic run --
+stage by stage, nothing cached.
+
+Progress is reported through an optional callback -- cache hits included
+(``("harden", "cache hit 3f2a…")``) -- so long campaigns can drive CLIs,
+notebooks or service frontends alike::
 
     from repro.api import ExperimentSpec, CampaignSpec, FsmSpec, Session
+    from repro.store import open_store
 
     spec = ExperimentSpec(fsm=FsmSpec(name="traffic_light"),
                           campaign=CampaignSpec(scenario="exhaustive"))
-    result = Session().run(spec)
-    print(result.campaigns["exhaustive"].format())
-    json.dump(result.to_dict(), open("result.json", "w"))
+    session = Session(store=open_store("~/.cache/scfi"))
+    result = session.run(spec)          # cold: computes and stores each stage
+    result = session.run(spec)          # warm: pure artifact replay
+    print(result.cache["campaign"]["status"])   # "hit"
 
 The evaluation harnesses (:mod:`repro.eval.security`,
 :mod:`repro.eval.table1`, :mod:`repro.eval.figure8`) and both CLIs route
 their campaign execution through this layer; a future multi-host scheduler
-only needs to ship the JSON spec.
+only needs to ship the JSON spec and share the store.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Optional
 
 from repro.api.registry import BEHAVIORAL, build_scenarios, make_executor
-from repro.api.spec import SPEC_VERSION, CampaignSpec, ExperimentSpec, ReportSpec
+from repro.api.spec import (
+    SPEC_VERSION,
+    CampaignSpec,
+    ExperimentSpec,
+    FsmSpec,
+    ProtectSpec,
+    ReportSpec,
+    campaign_stage_keys,
+    harden_stage_key,
+)
 from repro.core.scfi import ScfiResult, protect_fsm
 from repro.core.structure import ScfiNetlist
 from repro.fi.behavioral import BehavioralCampaignResult, behavioral_fault_campaign
 from repro.fi.orchestrator import ENGINE_INFO, CampaignResult
+from repro.store import CODEC_JSON, CODEC_PICKLE, ArtifactStore
+from repro.synth.serialize import (
+    ScfiCodecError,
+    deserialize_scfi_result,
+    serialize_scfi_result,
+)
 
-#: Progress callback: ``(stage, detail)`` -- e.g. ``("campaign", "exhaustive")``.
+#: Progress callback: ``(stage, detail)`` -- e.g. ``("campaign", "exhaustive")``
+#: or, replaying a memoised stage, ``("campaign", "cache hit 3f2a…")``.
 ProgressCallback = Callable[[str, str], None]
+
+
+def _load_json_artifact(store: ArtifactStore, stage: str, key: str) -> Optional[Dict]:
+    """Load + parse one JSON artifact; an unparsable payload is evicted and
+    treated as a miss (the store already handled byte-level corruption)."""
+    artifact = store.load(stage, key)
+    if artifact is None:
+        return None
+    try:
+        doc = json.loads(artifact.payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        store.delete(stage, key)
+        return None
+    if not isinstance(doc, dict):
+        store.delete(stage, key)
+        return None
+    return doc
+
+
+def _save_json_artifact(store: ArtifactStore, stage: str, key: str, doc: Dict) -> None:
+    store.save(stage, key, json.dumps(doc, sort_keys=True).encode("utf-8"), CODEC_JSON)
 
 
 @dataclass
@@ -62,6 +113,13 @@ class ExperimentResult:
     #: the hash identifies the submitted experiment, not how it was placed --
     #: and folded into :meth:`provenance` instead.
     overrides: Dict[str, Any] = field(default_factory=dict)
+    #: Per-stage cache provenance: ``{stage: {"key": <input hash>, "status":
+    #: "hit" | "miss" | "skipped" | "disabled"}}``.  ``skipped`` marks a stage
+    #: whose work a downstream hit made unnecessary (e.g. the plan stage under
+    #: a campaign-stage hit); ``disabled`` marks runs without a store.  This
+    #: is what makes cached results auditable: a warm run is recognisable by
+    #: its all-``hit`` record, never by silently absent work.
+    cache: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def compare_agrees(self) -> bool:
@@ -100,7 +158,7 @@ class ExperimentResult:
         harden = self.scfi.to_dict(include_area=self.spec.report.include_area)
         if self.timing is not None:
             harden["timing"] = dict(self.timing)
-        return {
+        data = {
             "version": SPEC_VERSION,
             "spec_hash": self.spec_hash,
             "spec": self.spec.to_dict(),
@@ -110,22 +168,181 @@ class ExperimentResult:
             "behavioral": self.behavioral.to_dict() if self.behavioral else None,
             "compare": self.compare,
         }
+        if self.cache:
+            data["cache"] = self.cache
+        return data
 
 
 class Session:
-    """Resolves and executes experiment specs.
+    """Resolves and executes experiment specs as a staged pipeline.
 
     ``progress`` receives ``(stage, detail)`` pairs as the run advances
-    ("resolve", "harden", "campaign", "compare", "done").  Sessions are
-    stateless between runs; one session may execute many specs.
+    ("resolve", "harden", "plan", "campaign", "compare", "report", "done");
+    memoised stages report ``"cache hit <key prefix>"`` details instead of
+    silently skipping.  ``store`` is an optional
+    :class:`~repro.store.ArtifactStore` that persists each stage's artifact
+    under its input hash; without one every run recomputes everything (the
+    pre-incremental behaviour).  Sessions are stateless between runs; one
+    session may execute many specs against one shared store.
     """
 
-    def __init__(self, progress: Optional[ProgressCallback] = None):
+    def __init__(
+        self,
+        progress: Optional[ProgressCallback] = None,
+        store: Optional[ArtifactStore] = None,
+    ):
         self._progress = progress
+        self.store = store
 
     def _emit(self, stage: str, detail: str = "") -> None:
         if self._progress is not None:
             self._progress(stage, detail)
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def harden(
+        self,
+        fsm_spec: FsmSpec,
+        protect: ProtectSpec,
+        *,
+        emit_verilog: bool = False,
+        fsm=None,
+        cache: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> ScfiResult:
+        """The harden stage: produce (or replay) one hardened FSM.
+
+        Keyed by :func:`~repro.api.spec.harden_stage_key` -- the FSM source
+        as *described by the spec* (a registry name hashes as the name, the
+        registry-resolution semantic the declarative API already commits to),
+        the protection options and whether Verilog is generated.  On a store
+        hit the pickled :class:`~repro.core.scfi.ScfiResult` is restored
+        without resolving or compiling anything; ``fsm`` lets trusted library
+        callers that already hold the resolved machine skip the registry
+        lookup on a miss.  ``cache`` (when given) receives the stage's
+        hit/miss record under ``"harden"``.
+        """
+        key = harden_stage_key(fsm_spec, protect, emit_verilog)
+        record = {"key": key, "status": "disabled" if self.store is None else "miss"}
+        if cache is not None:
+            cache["harden"] = record
+        if self.store is not None:
+            artifact = self.store.load("harden", key)
+            if artifact is not None:
+                try:
+                    scfi = deserialize_scfi_result(artifact.payload)
+                except ScfiCodecError:
+                    # Produced by an incompatible build: evict and recompute.
+                    self.store.delete("harden", key)
+                else:
+                    record["status"] = "hit"
+                    self._emit("harden", f"cache hit {key[:12]}")
+                    return scfi
+        if fsm is None:
+            fsm = fsm_spec.resolve()
+        self._emit("harden", f"{fsm.name} N={protect.protection_level}")
+        scfi = protect_fsm(fsm, protect.to_options(generate_verilog=emit_verilog))
+        if self.store is not None:
+            self.store.save("harden", key, serialize_scfi_result(scfi), CODEC_PICKLE)
+        return scfi
+
+    def run_campaign(
+        self,
+        structure: ScfiNetlist,
+        campaign: CampaignSpec,
+        report: Optional[ReportSpec] = None,
+        *,
+        cache_scope: Optional[str] = None,
+        cache: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> Dict[str, CampaignResult]:
+        """The plan + campaign stages against an already-hardened netlist.
+
+        This is the seam the evaluation harnesses use: they hold a
+        :class:`~repro.core.structure.ScfiNetlist` already and only need the
+        scenario/engine resolution plus execution, without re-hardening.
+
+        ``cache_scope`` is the upstream (harden-stage) input hash; it scopes
+        the plan and campaign keys to the netlist the counters were measured
+        on, so memoisation only engages when both a store and a scope are
+        present.  On a campaign-stage hit the stored counters are replayed
+        and the plan stage is skipped; on a miss a stored
+        :class:`~repro.fi.orchestrator.CampaignPlan` (same shape, lane budget
+        and packing) still pre-seeds the executor, so only the execute phase
+        runs.  ``cache`` (when given) receives the ``"plan"``/``"campaign"``
+        hit/miss records.
+        """
+        report = report or ReportSpec()
+        # Resolve the scenario first: spec validation behaves identically on
+        # cold and warm runs (and BEHAVIORAL is rejected before any lookup).
+        scenarios = build_scenarios(campaign, structure)
+
+        plan_key = campaign_key = None
+        if self.store is not None and cache_scope is not None:
+            plan_key, campaign_key = campaign_stage_keys(
+                campaign, report.keep_outcomes, cache_scope
+            )
+        cached = self.store is not None and campaign_key is not None
+        status = "disabled" if self.store is None else ("miss" if cached else "skipped")
+        records = {
+            "plan": {"key": plan_key, "status": status},
+            "campaign": {"key": campaign_key, "status": status},
+        }
+        if cache is not None:
+            cache.update(records)
+
+        if cached:
+            doc = _load_json_artifact(self.store, "campaign", campaign_key)
+            if doc is not None:
+                try:
+                    results = {
+                        name: CampaignResult.from_dict(entry)
+                        for name, entry in doc["results"].items()
+                    }
+                except (KeyError, TypeError, ValueError):
+                    self.store.delete("campaign", campaign_key)
+                else:
+                    records["campaign"]["status"] = "hit"
+                    records["plan"]["status"] = "skipped"
+                    self._emit("campaign", f"cache hit {campaign_key[:12]}")
+                    return results
+
+        results: Dict[str, CampaignResult] = {}
+        with make_executor(campaign, structure, keep_outcomes=report.keep_outcomes) as executor:
+            # Custom registered engines may not speak the plan import/export
+            # interface; plan persistence degrades gracefully for them.
+            plans_cached = (
+                cached
+                and plan_key is not None
+                and hasattr(executor, "import_plans")
+                and hasattr(executor, "export_plans")
+            )
+            plan_hit = False
+            if plans_cached:
+                doc = _load_json_artifact(self.store, "plan", plan_key)
+                if doc is not None:
+                    try:
+                        imported = executor.import_plans(doc["plans"])
+                    except (KeyError, TypeError, ValueError):
+                        self.store.delete("plan", plan_key)
+                    else:
+                        plan_hit = True
+                        records["plan"]["status"] = "hit"
+                        self._emit("plan", f"cache hit {plan_key[:12]} ({imported} plans)")
+            for name, scenario in scenarios.items():
+                self._emit("campaign", name)
+                results[name] = executor.run(scenario)
+            if plans_cached and not plan_hit:
+                _save_json_artifact(
+                    self.store, "plan", plan_key, {"plans": executor.export_plans()}
+                )
+        if cached:
+            _save_json_artifact(
+                self.store,
+                "campaign",
+                campaign_key,
+                {"results": {name: result.to_dict() for name, result in results.items()}},
+            )
+        return results
 
     # ------------------------------------------------------------------
     def run(
@@ -136,7 +353,7 @@ class Session:
         workers: Optional[int] = None,
         engine: Optional[str] = None,
     ) -> ExperimentResult:
-        """Execute one spec end to end.
+        """Execute one spec end to end through the staged pipeline.
 
         ``workers`` overrides the campaign's worker count and ``engine`` the
         evaluation engine (the ``scfi run --workers``/``--engine`` escape
@@ -144,10 +361,12 @@ class Session:
         independent by construction).  Overrides never enter the spec or its
         hash -- ``spec_hash`` identifies the submitted experiment while
         :meth:`ExperimentResult.provenance` records the effective execution
-        parameters.  ``fsm`` lets trusted library callers that already hold
-        the resolved :class:`~repro.fsm.model.Fsm` skip the registry lookup;
-        the spec must still describe the same machine, since it is what gets
-        hashed and persisted.
+        parameters -- but they do enter the *stage keys*, which always
+        describe the effective pipeline (an engine override addresses that
+        engine's campaign artifact).  ``fsm`` lets trusted library callers
+        that already hold the resolved :class:`~repro.fsm.model.Fsm` skip the
+        registry lookup; the spec must still describe the same machine, since
+        it is what gets hashed and persisted.
         """
         spec_hash = spec.content_hash()
         overrides: Dict[str, Any] = {}
@@ -158,66 +377,124 @@ class Session:
         if engine is not None and effective is not None and engine != effective.engine:
             overrides["engine"] = engine
             effective = replace(effective, engine=engine)
+        effective_spec = replace(spec, campaign=effective) if overrides else spec
+        keys = effective_spec.stage_hashes()
+        store = self.store
+        cache: Dict[str, Dict[str, Any]] = {}
 
         self._emit("resolve", spec.fsm.name or "<inline verilog>")
-        if fsm is None:
-            fsm = spec.fsm.resolve()
 
-        self._emit("harden", f"{fsm.name} N={spec.protect.protection_level}")
-        scfi = protect_fsm(fsm, spec.protect.to_options(generate_verilog=spec.report.emit_verilog))
-        result = ExperimentResult(spec=spec, spec_hash=spec_hash, scfi=scfi, overrides=overrides)
+        # Report-stage artifact: the complete result document.  A hit spares
+        # the derived sections (timing analysis, compare cross-check); the
+        # primary sections are still restored through their own stages below,
+        # which is what keeps the live result objects available to callers.
+        report_record = {
+            "key": keys["report"],
+            "status": "disabled" if store is None else "miss",
+        }
+        report_doc = None
+        if store is not None:
+            report_doc = _load_json_artifact(store, "report", keys["report"])
+            if report_doc is not None:
+                report_record["status"] = "hit"
+                self._emit("report", f"cache hit {keys['report'][:12]}")
+
+        scfi = self.harden(
+            spec.fsm,
+            spec.protect,
+            emit_verilog=spec.report.emit_verilog,
+            fsm=fsm,
+            cache=cache,
+        )
+        result = ExperimentResult(
+            spec=spec, spec_hash=spec_hash, scfi=scfi, overrides=overrides, cache=cache
+        )
 
         if spec.report.include_timing:
-            from repro.netlist.timing import TimingAnalyzer
+            stored_timing = (
+                report_doc.get("harden", {}).get("timing") if report_doc else None
+            )
+            if stored_timing is not None:
+                result.timing = dict(stored_timing)
+            else:
+                from repro.netlist.timing import TimingAnalyzer
 
-            timing = TimingAnalyzer(scfi.structure.netlist).analyze()
-            result.timing = {
-                "min_clock_period_ps": timing.min_clock_period_ps,
-                "max_frequency_mhz": timing.max_frequency_mhz,
-            }
+                timing = TimingAnalyzer(scfi.structure.netlist).analyze()
+                result.timing = {
+                    "min_clock_period_ps": timing.min_clock_period_ps,
+                    "max_frequency_mhz": timing.max_frequency_mhz,
+                }
 
         campaign = effective
         if campaign is not None:
             if campaign.scenario == BEHAVIORAL:
-                self._emit("campaign", BEHAVIORAL)
-                result.behavioral = behavioral_fault_campaign(
-                    scfi.hardened,
-                    num_faults=campaign.faults,
-                    trials=campaign.trials,
-                    seed=campaign.seed,
+                result.behavioral = self._behavioral_stage(
+                    scfi, campaign, keys["campaign"], cache
                 )
             else:
                 result.campaigns = self.run_campaign(
-                    scfi.structure, campaign, report=spec.report
+                    scfi.structure,
+                    campaign,
+                    report=spec.report,
+                    cache_scope=keys["harden"],
+                    cache=cache,
                 )
                 if campaign.compare:
-                    result.compare = self._cross_check(
-                        scfi.structure, campaign, result.campaigns
-                    )
+                    stored_compare = report_doc.get("compare") if report_doc else None
+                    if stored_compare is not None:
+                        result.compare = stored_compare
+                        self._emit("compare", f"cache hit {keys['report'][:12]}")
+                    else:
+                        result.compare = self._cross_check(
+                            scfi.structure, campaign, result.campaigns
+                        )
+
+        cache["report"] = report_record
+        if store is not None and report_record["status"] != "hit":
+            doc = result.to_dict()
+            # The cache record describes *this* execution, not the artifact.
+            doc.pop("cache", None)
+            _save_json_artifact(store, "report", keys["report"], doc)
         self._emit("done", spec_hash[:12])
         return result
 
-    # ------------------------------------------------------------------
-    def run_campaign(
+    def _behavioral_stage(
         self,
-        structure: ScfiNetlist,
+        scfi: ScfiResult,
         campaign: CampaignSpec,
-        report: Optional[ReportSpec] = None,
-    ) -> Dict[str, CampaignResult]:
-        """Execute a campaign spec against an already-hardened netlist.
-
-        This is the seam the evaluation harnesses use: they hold a
-        :class:`~repro.core.structure.ScfiNetlist` already and only need the
-        scenario/engine resolution plus execution, without re-hardening.
-        """
-        report = report or ReportSpec()
-        scenarios = build_scenarios(campaign, structure)
-        results: Dict[str, CampaignResult] = {}
-        with make_executor(campaign, structure, keep_outcomes=report.keep_outcomes) as executor:
-            for name, scenario in scenarios.items():
-                self._emit("campaign", name)
-                results[name] = executor.run(scenario)
-        return results
+        campaign_key: Optional[str],
+        cache: Dict[str, Dict[str, Any]],
+    ) -> BehavioralCampaignResult:
+        """Campaign stage for pre-netlist behavioural campaigns (no plan)."""
+        record = {
+            "key": campaign_key,
+            "status": "disabled" if self.store is None else "miss",
+        }
+        cache["campaign"] = record
+        if self.store is not None and campaign_key is not None:
+            doc = _load_json_artifact(self.store, "campaign", campaign_key)
+            if doc is not None:
+                try:
+                    behavioral = BehavioralCampaignResult.from_dict(doc["behavioral"])
+                except (KeyError, TypeError, ValueError):
+                    self.store.delete("campaign", campaign_key)
+                else:
+                    record["status"] = "hit"
+                    self._emit("campaign", f"cache hit {campaign_key[:12]}")
+                    return behavioral
+        self._emit("campaign", BEHAVIORAL)
+        behavioral = behavioral_fault_campaign(
+            scfi.hardened,
+            num_faults=campaign.faults,
+            trials=campaign.trials,
+            seed=campaign.seed,
+        )
+        if self.store is not None and campaign_key is not None:
+            _save_json_artifact(
+                self.store, "campaign", campaign_key,
+                {"behavioral": behavioral.to_dict()},
+            )
+        return behavioral
 
     def _cross_check(
         self,
@@ -228,9 +505,11 @@ class Session:
         """Replay the campaign on the cross-check engine and diff the counters.
 
         The oracle always runs single-process, so a sharded run's merge is
-        cross-checked along with the engine.  The verdict is *recorded*, not
-        raised: frontends decide whether a divergence is fatal (the CLI exits
-        non-zero).
+        cross-checked along with the engine.  The oracle replay is
+        deliberately *uncached* (no ``cache_scope``): a cross-check that
+        replayed stored counters against stored counters would verify
+        nothing.  The verdict is *recorded*, not raised: frontends decide
+        whether a divergence is fatal (the CLI exits non-zero).
         """
         oracle_engine = "parallel" if campaign.engine == "scalar" else "scalar"
         oracle_spec = replace(

@@ -41,6 +41,19 @@ def canonical_json(data: Any) -> str:
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
+def stage_key(stage: str, inputs: Any) -> str:
+    """SHA-256 input hash for one pipeline stage.
+
+    Stage keys reuse the spec's canonical-JSON scheme and embed the stage
+    name plus :data:`SPEC_VERSION`, so a future format bump invalidates every
+    cached artifact at once without touching the stores.  They are *separate*
+    digests from :meth:`ExperimentSpec.content_hash`, which is unchanged by
+    the staged pipeline.
+    """
+    doc = {"stage": stage, "version": SPEC_VERSION, "inputs": inputs}
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
 def _check_known_keys(cls, data: Dict[str, Any]) -> None:
     known = {f.name for f in fields(cls)}
     unknown = sorted(set(data) - known)
@@ -262,6 +275,40 @@ class CampaignSpec:
             data["glitch_schedule"] = tuple(tuple(shot) for shot in schedule)
         return cls(**data)
 
+    #: Fields that do not change *which* injections a campaign performs, only
+    #: how they are executed or what is additionally replayed.  They are kept
+    #: out of the plan-stage hash so e.g. an engine swap (at the same lane
+    #: budget) reuses the cached plan and a worker-count change reuses the
+    #: cached campaign counters (which are worker-independent by construction).
+    EXECUTION_FIELDS = ("engine", "lane_width", "workers", "pack_contexts", "compare")
+
+    def shape_dict(self) -> Dict[str, Any]:
+        """The campaign's injection *shape*: scenario + parameters, minus the
+        execution fields listed in :data:`EXECUTION_FIELDS`."""
+        data = self.to_dict()
+        for name in self.EXECUTION_FIELDS:
+            data.pop(name, None)
+        return data
+
+    def lane_budget_id(self) -> Any:
+        """The lane budget that shapes a campaign plan's batches.
+
+        A pinned ``lane_width`` is returned as-is; otherwise the engine's
+        default budget is resolved from the orchestrator's engine table so
+        that e.g. ``parallel`` and ``parallel-compiled`` (both 256 lanes)
+        share plan artifacts.  Engines registered outside that table resolve
+        to an engine-tagged marker, so their plans never collide with the
+        built-ins'.
+        """
+        if self.lane_width is not None:
+            return self.lane_width
+        from repro.fi.orchestrator import ENGINE_INFO
+
+        info = ENGINE_INFO.get(self.engine)
+        if info is not None:
+            return info.default_lane_width
+        return f"engine-default:{self.engine}"
+
 
 @dataclass(frozen=True)
 class ReportSpec:
@@ -279,6 +326,47 @@ class ReportSpec:
     def from_dict(cls, data: Dict[str, Any]) -> "ReportSpec":
         _check_known_keys(cls, data)
         return cls(**data)
+
+
+def harden_stage_key(fsm: "FsmSpec", protect: "ProtectSpec", emit_verilog: bool) -> str:
+    """Input hash of the harden stage: FSM source + protection options +
+    whether Verilog is generated (it shapes the hardening artifact)."""
+    return stage_key("harden", {
+        "fsm": fsm.to_dict(),
+        "protect": protect.to_dict(),
+        "emit_verilog": emit_verilog,
+    })
+
+
+def campaign_stage_keys(
+    campaign: "CampaignSpec", keep_outcomes: bool, harden_key: str
+) -> Tuple[Optional[str], Optional[str]]:
+    """Input hashes ``(plan_key, campaign_key)`` for one campaign downstream
+    of ``harden_key``.
+
+    Netlist campaigns chain campaign onto plan onto harden; behavioural
+    campaigns have no plan stage (``plan_key`` is ``None``) and chain their
+    campaign key straight onto the harden key.
+    """
+    # "behavioral" == repro.api.registry.BEHAVIORAL (registry imports this
+    # module, so the literal avoids a cycle).
+    if campaign.scenario == "behavioral":
+        return None, stage_key("campaign", {
+            "harden": harden_key,
+            "shape": campaign.shape_dict(),
+            "keep_outcomes": keep_outcomes,
+        })
+    plan = stage_key("plan", {
+        "harden": harden_key,
+        "shape": campaign.shape_dict(),
+        "lane_width": campaign.lane_budget_id(),
+        "pack_contexts": campaign.pack_contexts,
+    })
+    return plan, stage_key("campaign", {
+        "plan": plan,
+        "engine": campaign.engine,
+        "keep_outcomes": keep_outcomes,
+    })
 
 
 @dataclass(frozen=True)
@@ -325,6 +413,46 @@ class ExperimentSpec:
     def content_hash(self) -> str:
         """SHA-256 over the canonical JSON form -- the spec's stable identity."""
         return hashlib.sha256(canonical_json(self.to_dict()).encode("utf-8")).hexdigest()
+
+    def stage_hashes(self) -> Dict[str, Optional[str]]:
+        """Per-stage input hashes for the incremental pipeline.
+
+        Each stage's key embeds its upstream stage's key, so the keys compose
+        into an invalidation chain ``harden -> plan -> campaign -> report``:
+
+        * **harden** hashes the FSM source, the protection options and
+          whether Verilog is emitted (it shapes the hardening artifact).
+        * **plan** (netlist campaigns only) adds the campaign *shape* --
+          scenario and injection parameters -- plus the resolved lane budget
+          and context packing.  The engine itself stays out: every engine at
+          the same lane budget consumes identical plans.
+        * **campaign** adds the engine and ``keep_outcomes`` on top of the
+          plan key (behavioural campaigns skip the plan stage and chain
+          straight onto the harden key).
+        * **report** covers everything via :meth:`content_hash` plus the
+          report options, so it keys the complete result document.
+
+        Mutating a single spec field therefore invalidates exactly the stages
+        downstream of it: a seed change recomputes plan/campaign/report but
+        reuses the hardened netlist; a worker-count change (counters are
+        worker-independent by construction) recomputes only the report.
+        ``plan``/``campaign`` are ``None`` when the spec has no campaign
+        section, ``plan`` also for behavioural campaigns.
+        """
+        harden = harden_stage_key(self.fsm, self.protect, self.report.emit_verilog)
+        plan: Optional[str] = None
+        campaign_key: Optional[str] = None
+        if self.campaign is not None:
+            plan, campaign_key = campaign_stage_keys(
+                self.campaign, self.report.keep_outcomes, harden
+            )
+        report = stage_key("report", {
+            "harden": harden,
+            "campaign": campaign_key,
+            "report": self.report.to_dict(),
+            "spec_hash": self.content_hash(),
+        })
+        return {"harden": harden, "plan": plan, "campaign": campaign_key, "report": report}
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

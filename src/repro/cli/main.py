@@ -5,8 +5,14 @@
 the serializable :class:`~repro.api.session.ExperimentResult` as JSON --
 campaign counters, hardening summary and provenance (spec hash, engine,
 workers) included -- which is exactly what a distributed scheduler would do
-with the same file.  The classic subcommands (``harden``, ``fi``, ``report``)
-delegate to their dedicated CLIs, so ``scfi harden --fsm uart_rx`` equals
+with the same file.  ``--cache-dir`` (or the ``SCFI_CACHE_DIR`` environment
+variable) points the run at a persistent content-addressed artifact store
+(:mod:`repro.store`): each pipeline stage -- harden, plan, campaign, report --
+is memoised under its input hash, so an unchanged spec replays stored
+counters without compiling anything and a changed campaign reuses the cached
+hardened netlist.  ``scfi cache {ls,gc,clear}`` inspects and maintains that
+store.  The classic subcommands (``harden``, ``fi``, ``report``) delegate to
+their dedicated CLIs, so ``scfi harden --fsm uart_rx`` equals
 ``scfi-harden --fsm uart_rx``.
 """
 
@@ -14,9 +20,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
+import time
 
 from repro.api import ExperimentSpec, Session, available_engines
+from repro.store import open_store
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,12 +54,44 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--out",
         default=None,
-        help="write the result JSON here instead of stdout",
+        help="write the result JSON here (atomically) instead of stdout",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed artifact store for incremental runs "
+        "(defaults to $SCFI_CACHE_DIR; unset means no caching)",
+    )
+    run.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="additionally print the per-stage cache record (hit/miss and "
+        "stage input hashes) after the run",
     )
     run.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the progress/summary lines on stderr",
+    )
+
+    cache = sub.add_parser("cache", help="inspect and maintain the artifact cache")
+    cache.add_argument(
+        "action",
+        choices=("ls", "gc", "clear"),
+        help="ls: list stored artifacts; gc: drop corrupt/expired entries and "
+        "leftover temp files; clear: remove every artifact",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact store location (defaults to $SCFI_CACHE_DIR)",
+    )
+    cache.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="gc: additionally expire artifacts older than this many days",
     )
 
     for name, help_text in (
@@ -71,6 +113,31 @@ _DELEGATES = {
 }
 
 
+def _resolve_cache_dir(args) -> str:
+    return args.cache_dir or os.environ.get("SCFI_CACHE_DIR") or ""
+
+
+def _write_atomic(path: str, text: str) -> None:
+    """Write via a same-directory temp file + ``os.replace`` so an interrupted
+    run can never leave a truncated result JSON under the target name."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def _run(args) -> int:
     try:
         spec = ExperimentSpec.load(args.spec)
@@ -83,21 +150,34 @@ def _run(args) -> int:
         print("scfi run: --workers must be >= 1", file=sys.stderr)
         return 2
 
+    cache_dir = _resolve_cache_dir(args)
+    try:
+        store = open_store(cache_dir) if cache_dir else None
+    except OSError as error:
+        print(f"scfi run: cannot open cache {cache_dir!r}: {error}", file=sys.stderr)
+        return 2
+
     def progress(stage: str, detail: str) -> None:
         if not args.quiet:
             print(f"[scfi] {stage}: {detail}", file=sys.stderr)
 
-    result = Session(progress=progress).run(spec, workers=args.workers, engine=args.engine)
+    result = Session(progress=progress, store=store).run(
+        spec, workers=args.workers, engine=args.engine
+    )
     if not args.quiet:
         for campaign in result.campaigns.values():
             print(f"[scfi] {campaign.format()}", file=sys.stderr)
         if result.behavioral is not None:
             print(f"[scfi] {result.behavioral.format()}", file=sys.stderr)
+        if args.verbose and result.cache:
+            for stage, record in result.cache.items():
+                key = record.get("key")
+                suffix = f" {key[:12]}" if key else ""
+                print(f"[scfi] cache {stage}: {record['status']}{suffix}", file=sys.stderr)
 
     payload = json.dumps(result.to_dict(), indent=2)
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(payload + "\n")
+        _write_atomic(args.out, payload + "\n")
     else:
         print(payload)
 
@@ -111,6 +191,45 @@ def _run(args) -> int:
     return 0
 
 
+def _cache(args) -> int:
+    cache_dir = _resolve_cache_dir(args)
+    if not cache_dir:
+        print(
+            "scfi cache: no cache directory (pass --cache-dir or set SCFI_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        store = open_store(cache_dir)
+    except OSError as error:
+        print(f"scfi cache: cannot open cache {cache_dir!r}: {error}", file=sys.stderr)
+        return 2
+
+    if args.action == "ls":
+        count = 0
+        total = 0
+        for artifact in store.entries():
+            count += 1
+            total += artifact.size
+            when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(artifact.created))
+            print(
+                f"{artifact.stage:<9} {artifact.key}  "
+                f"{artifact.codec:<6} {artifact.size:>12}  {when}"
+            )
+        print(f"[scfi] {count} artifact(s), {total} bytes in {cache_dir}", file=sys.stderr)
+    elif args.action == "gc":
+        stats = store.gc(max_age_days=args.max_age_days)
+        print(
+            "[scfi] gc: "
+            + ", ".join(f"{name}={value}" for name, value in sorted(stats.items())),
+            file=sys.stderr,
+        )
+    else:
+        removed = store.clear()
+        print(f"[scfi] cleared {removed} artifact(s) from {cache_dir}", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -120,6 +239,8 @@ def main(argv=None) -> int:
         delegate = importlib.import_module(_DELEGATES[argv[0]])
         return delegate.main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.command == "cache":
+        return _cache(args)
     return _run(args)
 
 

@@ -15,9 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.session import Session
-from repro.api.spec import CampaignSpec
+from repro.api.spec import CampaignSpec, FsmSpec, ProtectSpec, harden_stage_key
 from repro.core.redundancy import RedundancyOptions, protect_fsm_redundant
-from repro.core.scfi import ScfiOptions, protect_fsm
 from repro.core.structure import ScfiNetlist
 from repro.fi.orchestrator import CampaignResult
 from repro.netlist.area import area_report
@@ -104,12 +103,14 @@ def _module_netlist(
     configuration: str,
     protection_level: int,
     library: CellLibrary,
+    session: Optional[Session] = None,
 ) -> Tuple[Netlist, Optional[ScfiNetlist]]:
     """Build the full-module netlist (FSM + calibrated datapath) of one configuration.
 
     For the SCFI configuration the campaign-ready :class:`ScfiNetlist` handle
     is returned alongside, so callers can fault-validate the very FSM whose
-    area-time curve they sweep.
+    area-time curve they sweep; the hardening routes through ``session`` so a
+    store-backed session replays it from cache.
     """
     structure: Optional[ScfiNetlist] = None
     if configuration == "base":
@@ -119,9 +120,10 @@ def _module_netlist(
             model.fsm, RedundancyOptions(protection_level=protection_level)
         ).netlist
     elif configuration == "scfi":
-        protected = protect_fsm(
-            model.fsm,
-            ScfiOptions(protection_level=protection_level, generate_verilog=False),
+        protected = (session or Session()).harden(
+            FsmSpec(name=model.fsm.name),
+            ProtectSpec(protection_level=protection_level),
+            fsm=model.fsm,
         )
         fsm_netlist = protected.netlist
         structure = protected.structure
@@ -149,22 +151,34 @@ def run_figure8(
     library: Optional[CellLibrary] = None,
     verify_security: bool = False,
     workers: int = 1,
+    store=None,
 ) -> Figure8Result:
     """Sweep the clock period for every configuration and record area/timing.
 
     With ``verify_security`` the SCFI configuration additionally runs an
     exhaustive diffusion-layer campaign on the bit-parallel engine before the
     timing sweep (stored in :attr:`Figure8Result.security_checks`);
-    ``workers=N`` shards that campaign across a process pool.
+    ``workers=N`` shards that campaign across a process pool.  ``store`` is an
+    optional :class:`~repro.store.ArtifactStore` that memoises the SCFI
+    hardening and the security campaign across repeat sweeps.
     """
     library = library or DEFAULT_LIBRARY
+    session = Session(store=store)
     result = Figure8Result()
     for configuration in configurations:
-        netlist, structure = _module_netlist(model, configuration, protection_level, library)
+        netlist, structure = _module_netlist(
+            model, configuration, protection_level, library, session
+        )
         if verify_security and structure is not None:
             diffusion_sweep = CampaignSpec(scenario="exhaustive", workers=workers)
-            result.security_checks[configuration] = Session().run_campaign(
-                structure, diffusion_sweep
+            result.security_checks[configuration] = session.run_campaign(
+                structure,
+                diffusion_sweep,
+                cache_scope=harden_stage_key(
+                    FsmSpec(name=model.fsm.name),
+                    ProtectSpec(protection_level=protection_level),
+                    False,
+                ),
             )["exhaustive"]
         for period in clock_periods_ps:
             sized = size_for_period(netlist, float(period), library)

@@ -102,6 +102,8 @@ def structural_fault_target_sweep(
     engine: str = "parallel",
     lane_width: int = DEFAULT_LANE_WIDTH,
     workers: int = 1,
+    store=None,
+    cache_scope=None,
 ) -> Dict[str, CampaignResult]:
     """Gate-level companion of :func:`fault_target_sweep` (Section 6.4 style).
 
@@ -120,7 +122,11 @@ def structural_fault_target_sweep(
     This is a compatibility shim over the declarative API: the parameters are
     lowered to a :class:`~repro.api.spec.CampaignSpec` (scenario
     ``"regions"``) and executed through
-    :meth:`~repro.api.session.Session.run_campaign`.
+    :meth:`~repro.api.session.Session.run_campaign`.  ``store`` (an
+    :class:`~repro.store.ArtifactStore`) plus ``cache_scope`` (the harden-stage
+    input hash of the hardening that produced ``structure``, see
+    :func:`repro.api.spec.harden_stage_key`) memoise the sweep's plans and
+    counters across repeat runs; both default to off.
     """
     campaign = CampaignSpec(
         scenario="regions",
@@ -129,7 +135,9 @@ def structural_fault_target_sweep(
         lane_width=lane_width,
         workers=workers,
     )
-    return Session().run_campaign(structure, campaign)
+    return Session(store=store).run_campaign(
+        structure, campaign, cache_scope=cache_scope
+    )
 
 
 def fault_target_sweep(

@@ -14,9 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.api.session import Session
-from repro.api.spec import CampaignSpec
+from repro.api.spec import CampaignSpec, FsmSpec, ProtectSpec, harden_stage_key
 from repro.core.redundancy import RedundancyOptions, protect_fsm_redundant
-from repro.core.scfi import ScfiOptions, protect_fsm
 from repro.fi.orchestrator import CampaignResult
 from repro.netlist.area import area_report
 from repro.netlist.celllib import CellLibrary, DEFAULT_LIBRARY
@@ -134,6 +133,7 @@ def run_table1(
     scfi_error_bits: int = 3,
     verify_security: bool = False,
     workers: int = 1,
+    store=None,
 ) -> Table1Result:
     """Synthesise every configuration of Table 1 and collect the overheads.
 
@@ -146,8 +146,14 @@ def run_table1(
     bit-parallel engine, so the area table is backed by a zero-hijack check
     (results land in :attr:`Table1Row.scfi_security`); ``workers=N`` shards
     each of those campaigns across a process pool.
+
+    ``store`` is an optional :class:`~repro.store.ArtifactStore`: the grid of
+    SCFI hardenings and security campaigns is exactly the re-run-heavy shape
+    the content-addressed pipeline memoises, so a warm store turns repeat
+    Table 1 sweeps into artifact replay (models are keyed by FSM name).
     """
     library = library or DEFAULT_LIBRARY
+    session = Session(store=store)
     rows: List[Table1Row] = []
     for model in models:
         unprotected = lower_fsm(model.fsm)
@@ -163,23 +169,21 @@ def run_table1(
             row.redundancy_fsm_ge[level] = redundant_ge
             row.redundancy_overhead[level] = 100.0 * (redundant_ge - unprotected_ge) / model.module_area_ge
 
-            scfi = protect_fsm(
-                model.fsm,
-                ScfiOptions(
-                    protection_level=level,
-                    error_bits=scfi_error_bits,
-                    generate_verilog=False,
-                ),
-            )
+            protect = ProtectSpec(protection_level=level, error_bits=scfi_error_bits)
+            fsm_spec = FsmSpec(name=model.fsm.name)
+            scfi = session.harden(fsm_spec, protect, fsm=model.fsm)
             scfi_ge = area_report(scfi.netlist, library).total_ge
             row.scfi_fsm_ge[level] = scfi_ge
             row.scfi_overhead[level] = 100.0 * (scfi_ge - unprotected_ge) / model.module_area_ge
             if verify_security:
                 # One declarative campaign spec per SCFI configuration: the
-                # exhaustive diffusion sweep on the default parallel engine.
+                # exhaustive diffusion sweep on the default parallel engine,
+                # cache-scoped to the hardening that produced the netlist.
                 diffusion_sweep = CampaignSpec(scenario="exhaustive", workers=workers)
-                row.scfi_security[level] = Session().run_campaign(
-                    scfi.structure, diffusion_sweep
+                row.scfi_security[level] = session.run_campaign(
+                    scfi.structure,
+                    diffusion_sweep,
+                    cache_scope=harden_stage_key(fsm_spec, protect, False),
                 )["exhaustive"]
         rows.append(row)
     return Table1Result(rows=rows, protection_levels=list(protection_levels))

@@ -262,6 +262,43 @@ class CampaignResult:
             ]
         return data
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignResult":
+        """Restore a result from its :meth:`to_dict` form (cache replay).
+
+        Derived rates are recomputed from the counters, not read back.  The
+        wire format keys faults as ``[net, effect]`` pairs (no ``cycle``
+        field), matching what :meth:`to_dict` emits.
+        """
+        outcomes_data = data.get("outcomes")
+        result = cls(
+            name=data["name"],
+            total_injections=data["total_injections"],
+            masked=data["masked"],
+            detected=data["detected"],
+            redirected=data["redirected"],
+            hijacked=data["hijacked"],
+            transitions_evaluated=data["transitions_evaluated"],
+            target_nets=data["target_nets"],
+            keep_outcomes=outcomes_data is not None,
+        )
+        if outcomes_data is not None:
+            result.outcomes = [
+                FaultOutcome.of_faults(
+                    tuple(
+                        Fault(net=net, effect=FaultEffect(effect))
+                        for net, effect in outcome["faults"]
+                    ),
+                    source_state=outcome["source_state"],
+                    expected_state=outcome["expected_state"],
+                    observed_code=outcome["observed_code"],
+                    observed_state=outcome["observed_state"],
+                    classification=Classification(outcome["classification"]),
+                )
+                for outcome in outcomes_data
+            ]
+        return result
+
     def format(self) -> str:
         return (
             f"{self.name}: {self.total_injections} injections over "
@@ -620,6 +657,40 @@ class PlannedBatch:
     def num_jobs(self) -> int:
         return self.stop - self.start
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form; lane words (arbitrary-width bignums) go out as hex."""
+        return {
+            "start": self.start,
+            "stop": self.stop,
+            "golden_contexts": list(self.golden_contexts),
+            "input_words": (
+                {net: format(word, "x") for net, word in self.input_words.items()}
+                if self.input_words is not None else None
+            ),
+            "register_words": (
+                {net: format(word, "x") for net, word in self.register_words.items()}
+                if self.register_words is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PlannedBatch":
+        input_words = data.get("input_words")
+        register_words = data.get("register_words")
+        return cls(
+            start=data["start"],
+            stop=data["stop"],
+            golden_contexts=tuple(data["golden_contexts"]),
+            input_words=(
+                {net: int(text, 16) for net, text in input_words.items()}
+                if input_words is not None else None
+            ),
+            register_words=(
+                {net: int(text, 16) for net, text in register_words.items()}
+                if register_words is not None else None
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class CampaignPlan:
@@ -633,6 +704,19 @@ class CampaignPlan:
 
     batches: Tuple[PlannedBatch, ...]
     num_jobs: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "batches": [batch.to_dict() for batch in self.batches],
+            "num_jobs": self.num_jobs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignPlan":
+        return cls(
+            batches=tuple(PlannedBatch.from_dict(entry) for entry in data["batches"]),
+            num_jobs=data["num_jobs"],
+        )
 
 
 #: Per-job evaluation result: (classification, observed code, observed state).
@@ -1111,16 +1195,58 @@ class FaultCampaign:
             plan = self._plan_packed(key[0])
         else:
             plan = self._plan_per_context(key[0])
-        if plan.num_jobs <= PLAN_CACHE_MAX_JOBS:
-            while self._plan_cache and (
-                len(self._plan_cache) >= PLAN_CACHE_LIMIT
-                or self._plan_cache_jobs + plan.num_jobs > PLAN_CACHE_MAX_JOBS
-            ):
-                evicted = self._plan_cache.pop(next(iter(self._plan_cache)))
-                self._plan_cache_jobs -= evicted.num_jobs
-            self._plan_cache[key] = plan
-            self._plan_cache_jobs += plan.num_jobs
+        self._cache_plan(key, plan)
         return plan
+
+    def _cache_plan(self, key: Tuple, plan: CampaignPlan) -> None:
+        """Admit one plan into the LRU cache, honouring both budget bounds."""
+        if plan.num_jobs > PLAN_CACHE_MAX_JOBS:
+            return
+        while self._plan_cache and (
+            len(self._plan_cache) >= PLAN_CACHE_LIMIT
+            or self._plan_cache_jobs + plan.num_jobs > PLAN_CACHE_MAX_JOBS
+        ):
+            evicted = self._plan_cache.pop(next(iter(self._plan_cache)))
+            self._plan_cache_jobs -= evicted.num_jobs
+        self._plan_cache[key] = plan
+        self._plan_cache_jobs += plan.num_jobs
+
+    def export_plans(self) -> List[Dict[str, object]]:
+        """Serialize every cached plan (with its shape key) for persistence.
+
+        The payloads are plain JSON-able dicts; :meth:`import_plans` on a
+        fresh campaign over the same netlist pre-seeds its plan cache from
+        them, turning the plan phase of a warm pipeline run into pure
+        deserialization.
+        """
+        payloads: List[Dict[str, object]] = []
+        for (job_contexts, lane_width, pack_contexts), plan in self._plan_cache.items():
+            payloads.append({
+                "job_contexts": list(job_contexts),
+                "lane_width": lane_width,
+                "pack_contexts": pack_contexts,
+                "plan": plan.to_dict(),
+            })
+        return payloads
+
+    def import_plans(self, payloads: Sequence[Mapping[str, object]]) -> int:
+        """Pre-seed the plan cache from :meth:`export_plans` payloads.
+
+        Entries planned under a different lane budget or packing mode are
+        skipped (their batches would not fit this campaign's lanes); returns
+        the number of plans admitted.
+        """
+        imported = 0
+        for payload in payloads:
+            if (
+                payload.get("lane_width") != self.lane_width
+                or payload.get("pack_contexts") != self.pack_contexts
+            ):
+                continue
+            key = (tuple(payload["job_contexts"]), self.lane_width, self.pack_contexts)
+            self._cache_plan(key, CampaignPlan.from_dict(payload["plan"]))
+            imported += 1
+        return imported
 
     def _plan_packed(self, job_contexts: Tuple[int, ...]) -> CampaignPlan:
         batches: List[PlannedBatch] = []

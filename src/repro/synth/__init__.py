@@ -3,6 +3,12 @@
 from repro.synth.lower import FsmNetlist, lower_fsm, lower_fsm_redundant
 from repro.synth.sizing import SizingResult, size_for_period
 from repro.synth.flow import ModuleModel, SynthesisReport, synthesize_module
+from repro.synth.serialize import (
+    SCFI_CODEC_VERSION,
+    ScfiCodecError,
+    deserialize_scfi_result,
+    serialize_scfi_result,
+)
 
 __all__ = [
     "FsmNetlist",
@@ -13,4 +19,8 @@ __all__ = [
     "ModuleModel",
     "SynthesisReport",
     "synthesize_module",
+    "SCFI_CODEC_VERSION",
+    "ScfiCodecError",
+    "deserialize_scfi_result",
+    "serialize_scfi_result",
 ]

@@ -273,3 +273,74 @@ class TestScfiRunCli:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "injections" in captured.out
+
+class TestScfiCacheCli:
+    """The ``--cache-dir`` plumbing of ``scfi run`` and the ``scfi cache``
+    maintenance subcommand."""
+
+    def test_cold_then_warm_run_replays_from_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert scfi_main(["run", str(EXAMPLE_SPEC), "--cache-dir", str(cache), "-v"]) == 0
+        cold = capsys.readouterr()
+        assert "cache hit" not in cold.err
+        assert "[scfi] cache harden: miss" in cold.err
+
+        assert scfi_main(["run", str(EXAMPLE_SPEC), "--cache-dir", str(cache), "-v"]) == 0
+        warm = capsys.readouterr()
+        assert "[scfi] cache harden: hit" in warm.err
+        assert "[scfi] cache campaign: hit" in warm.err
+        assert "[scfi] cache plan: skipped" in warm.err
+        assert "[scfi] cache report: hit" in warm.err
+        # Cache-hit progress is also surfaced through the normal progress feed.
+        assert "[scfi] report: cache hit" in warm.err
+
+        cold_doc = json.loads(cold.out)
+        warm_doc = json.loads(warm.out)
+        assert warm_doc["campaigns"] == cold_doc["campaigns"]
+        assert warm_doc["spec_hash"] == cold_doc["spec_hash"]
+
+    def test_cache_dir_env_fallback(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("SCFI_CACHE_DIR", str(tmp_path / "envcache"))
+        assert scfi_main(["run", str(EXAMPLE_SPEC), "--quiet"]) == 0
+        capsys.readouterr()
+        assert scfi_main(["cache", "ls"]) == 0
+        listed = capsys.readouterr()
+        stages = {line.split()[0] for line in listed.out.splitlines()}
+        assert stages == {"harden", "plan", "campaign", "report"}
+
+    def test_out_is_written_atomically(self, tmp_path, capsys):
+        out = tmp_path / "nested" / "result.json"
+        out.parent.mkdir()
+        exit_code = scfi_main(["run", str(EXAMPLE_SPEC), "--quiet", "--out", str(out)])
+        capsys.readouterr()
+        assert exit_code == 0
+        assert json.loads(out.read_text())["campaigns"]["flip"]["total_injections"] > 0
+        assert list(out.parent.glob("*.tmp")) == []
+
+    def test_cache_ls_gc_clear_round_trip(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert scfi_main(["run", str(EXAMPLE_SPEC), "--quiet", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+
+        assert scfi_main(["cache", "ls", "--cache-dir", str(cache)]) == 0
+        listed = capsys.readouterr()
+        assert len(listed.out.splitlines()) == 4
+        assert "4 artifact(s)" in listed.err
+
+        assert scfi_main(["cache", "gc", "--cache-dir", str(cache)]) == 0
+        swept = capsys.readouterr()
+        assert "kept=4" in swept.err
+        assert "removed_corrupt=0" in swept.err
+
+        assert scfi_main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        cleared = capsys.readouterr()
+        assert "cleared 4 artifact(s)" in cleared.err
+        assert scfi_main(["cache", "ls", "--cache-dir", str(cache)]) == 0
+        assert "0 artifact(s)" in capsys.readouterr().err
+
+    def test_cache_without_directory_fails_cleanly(self, capsys, monkeypatch):
+        monkeypatch.delenv("SCFI_CACHE_DIR", raising=False)
+        exit_code = scfi_main(["cache", "ls"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "no cache directory" in captured.err
