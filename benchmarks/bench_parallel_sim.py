@@ -24,11 +24,17 @@ A fifth case tracks temporal campaigns: a 4-cycle persistent stuck-at sweep
 (ISSUE 7 tentpole) must cost at most ``BENCH_MAX_CYCLE_OVERHEAD`` times the
 1-cycle sweep (ideal 4.0x -- four evaluates per trace).
 
+A sixth case pins the group-aware IR fast path (ISSUE 9 tentpole): the numpy
+engine's array-native dispatch must run the per-effect diffusion sweep at
+least 2x faster than the same engine forced onto the generic spec stream
+(``dispatch="spec-stream"``), with identical counters always asserted.
+
 Shared CI runners are noisy, so every floor can be overridden per run via
 environment variables (``BENCH_MIN_SPEEDUP``,
 ``BENCH_MIN_CONTEXT_PACKING_SPEEDUP``, ``BENCH_MIN_WORKERS_SPEEDUP``,
-``BENCH_MIN_NUMPY_SPEEDUP``, ``BENCH_MAX_CYCLE_OVERHEAD``); the defaults
-below are the enforced values and CI pins them explicitly.
+``BENCH_MIN_NUMPY_SPEEDUP``, ``BENCH_MAX_CYCLE_OVERHEAD``,
+``BENCH_MIN_SWEEP_NATIVE_SPEEDUP``); the defaults below are the enforced
+values and CI pins them explicitly.
 
 The numpy and temporal benchmarks additionally emit a machine-readable
 ``BENCH_parallel.json`` (per-case wall times and speedups, merged by case
@@ -90,6 +96,11 @@ MIN_NUMPY_SPEEDUP = _env_floor("BENCH_MIN_NUMPY_SPEEDUP", 3.0)
 #: the 1-cycle campaign (ideal = 4.0: four evaluates per trace; the floor
 #: leaves headroom for the per-cycle feedback bookkeeping on noisy runners).
 MAX_CYCLE_OVERHEAD = _env_floor("BENCH_MAX_CYCLE_OVERHEAD", 8.0)
+
+#: Required speedup of the numpy engine's array-native dispatch over the same
+#: engine forced onto the generic spec stream, on the per-effect diffusion
+#: sweep (ISSUE 9 acceptance criterion).
+MIN_SWEEP_NATIVE_SPEEDUP = _env_floor("BENCH_MIN_SWEEP_NATIVE_SPEEDUP", 2.0)
 
 #: Worker processes of the sharded benchmark case.
 BENCH_WORKERS = 4
@@ -400,6 +411,74 @@ def test_bench_temporal_cycle_scaling(benchmark, once, ibex_structure):
 
     assert overhead <= MAX_CYCLE_OVERHEAD, (
         f"4-cycle temporal overhead {overhead:.2f}x above {MAX_CYCLE_OVERHEAD}x"
+    )
+
+
+def test_bench_array_native_sweep(benchmark, once, ibex_structure):
+    """The array-native dispatch must beat the spec stream 2x on the
+    per-effect sweep (ISSUE 9 tentpole).
+
+    Both campaigns run the same numpy engine on the same per-effect
+    diffusion sweep; the only difference is the dispatch path -- grouped
+    :class:`JobArrays` handed straight to the engine versus the generic
+    per-job object stream.  ``last_dispatch`` is asserted on both sides so
+    the benchmark cannot silently compare the fast path against itself, and
+    counter equality always runs; the timing floor is skipped on single-core
+    runners.  Measured wall times land in ``BENCH_parallel.json``.
+    """
+    from repro.fi.orchestrator import effect_sweep_scenarios
+
+    scenarios = effect_sweep_scenarios()
+
+    def best_of(campaign, expected_dispatch, reps):
+        campaign.run_sweep(scenarios)  # warm compiled netlist, plan cache
+        best = float("inf")
+        results = None
+        for _ in range(reps):
+            start = time.perf_counter()
+            results = campaign.run_sweep(scenarios)
+            best = min(best, time.perf_counter() - start)
+        assert campaign.last_dispatch == expected_dispatch, (
+            f"expected the {expected_dispatch} path, got {campaign.last_dispatch}"
+        )
+        return best, results
+
+    native_campaign = FaultCampaign(ibex_structure, engine="parallel-numpy")
+    once(benchmark, native_campaign.run_sweep, scenarios)
+    native_seconds, native_results = best_of(native_campaign, "array-native", reps=10)
+    stream_campaign = FaultCampaign(
+        ibex_structure, engine="parallel-numpy", dispatch="spec-stream"
+    )
+    stream_seconds, stream_results = best_of(stream_campaign, "spec-stream", reps=10)
+
+    speedup = stream_seconds / max(native_seconds, 1e-9)
+    print()
+    print(f"  spec-stream:  {stream_seconds * 1e3:7.2f} ms")
+    print(f"  array-native: {native_seconds * 1e3:7.2f} ms")
+    print(f"  array-native speedup: {speedup:.1f}x on the per-effect sweep")
+
+    _write_bench_record("array_native_sweep", {
+        "netlist": ibex_structure.netlist.name,
+        "total_injections": sum(r.total_injections for r in native_results.values()),
+        "dispatch": {
+            "array-native": {"seconds": native_seconds},
+            "spec-stream": {"seconds": stream_seconds},
+        },
+        "speedup": speedup,
+        "floor": MIN_SWEEP_NATIVE_SPEEDUP,
+        "usable_cpus": _usable_cpus(),
+    })
+
+    for name, native in native_results.items():
+        assert native.counters() == stream_results[name].counters(), (
+            f"{name}: array-native counters diverge from the spec stream"
+        )
+
+    cpus = _usable_cpus()
+    if cpus < 2:
+        pytest.skip(f"timing floor needs >= 2 usable CPUs, found {cpus} (counters verified)")
+    assert speedup >= MIN_SWEEP_NATIVE_SPEEDUP, (
+        f"array-native sweep speedup {speedup:.1f}x below {MIN_SWEEP_NATIVE_SPEEDUP}x"
     )
 
 

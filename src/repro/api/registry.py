@@ -32,6 +32,7 @@ from repro.fi.model import FaultEffect
 from repro.fi.orchestrator import (
     ExhaustiveSingleFault,
     FaultCampaign,
+    LaserSpot,
     MultiShotGlitch,
     RandomMultiFault,
     TemporalSingleFault,
@@ -51,6 +52,15 @@ _FLIP_ONLY = (FaultEffect.TRANSIENT_FLIP,)
 _ALL_EFFECTS = tuple(FaultEffect)
 
 
+def _reject_spot_fields(spec: CampaignSpec, name: str) -> None:
+    """Laser-spot geometry only parameterizes the 'laser' scenario."""
+    if spec.spot_radius is not None or spec.spot_trials is not None:
+        raise ValueError(
+            f"the {name!r} scenario does not take spot_radius/spot_trials; "
+            "use scenario='laser'"
+        )
+
+
 def _single_cycle_only(spec: CampaignSpec, name: str) -> None:
     """Classic scenarios evaluate exactly one transition per injection."""
     if spec.cycles != 1:
@@ -63,6 +73,7 @@ def _single_cycle_only(spec: CampaignSpec, name: str) -> None:
             f"the {name!r} scenario does not take a glitch_schedule; "
             "use scenario='glitch'"
         )
+    _reject_spot_fields(spec, name)
 
 
 def _build_exhaustive(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, object]:
@@ -108,6 +119,7 @@ def _build_temporal(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, obj
     if spec.glitch_schedule is not None:
         raise ValueError("the 'temporal' scenario holds one fault per trace; "
                          "use scenario='glitch' for a glitch_schedule")
+    _reject_spot_fields(spec, "temporal")
     return {
         "temporal": TemporalSingleFault(
             target_nets=spec.target if spec.target is not None else "diffusion",
@@ -125,6 +137,7 @@ def _build_glitch(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, objec
     if spec.target is not None:
         raise ValueError("the 'glitch' scenario targets the nets named in its "
                          "glitch_schedule; 'target' must stay unset")
+    _reject_spot_fields(spec, "glitch")
     return {
         "glitch": MultiShotGlitch(
             glitches=tuple(
@@ -152,6 +165,24 @@ def _build_bitflip(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, obje
     }
 
 
+def _build_laser(spec: CampaignSpec, structure: ScfiNetlist) -> Dict[str, object]:
+    if spec.glitch_schedule is not None:
+        raise ValueError("the 'laser' scenario derives its faults from the "
+                         "spot geometry; use scenario='glitch' for a "
+                         "glitch_schedule")
+    return {
+        "laser": LaserSpot(
+            spot_radius=spec.spot_radius if spec.spot_radius is not None else 1.5,
+            spot_trials=spec.spot_trials if spec.spot_trials is not None else 100,
+            target_nets=spec.target,
+            seed=spec.seed,
+            effects=spec.resolved_effects(_FLIP_ONLY),
+            cycles=spec.cycles,
+            duration=spec.fault_duration if spec.cycles > 1 else "persistent",
+        )
+    }
+
+
 #: name -> scenario builder.  Extend via :func:`register_scenario`.
 SCENARIO_REGISTRY: Dict[str, ScenarioBuilder] = {
     "exhaustive": _build_exhaustive,
@@ -161,6 +192,7 @@ SCENARIO_REGISTRY: Dict[str, ScenarioBuilder] = {
     "temporal": _build_temporal,
     "glitch": _build_glitch,
     "bitflip": _build_bitflip,
+    "laser": _build_laser,
 }
 
 

@@ -113,6 +113,11 @@ class ExperimentResult:
     #: the hash identifies the submitted experiment, not how it was placed --
     #: and folded into :meth:`provenance` instead.
     overrides: Dict[str, Any] = field(default_factory=dict)
+    #: Per-scenario dispatch provenance mirroring
+    #: :attr:`FaultCampaign.last_dispatch`: ``"array-native"`` or
+    #: ``"spec-stream"`` as reported by the executor, ``"cached"`` when the
+    #: counters were replayed from the store without executing anything.
+    dispatch: Dict[str, Optional[str]] = field(default_factory=dict)
     #: Per-stage cache provenance: ``{stage: {"key": <input hash>, "status":
     #: "hit" | "miss" | "skipped" | "disabled"}}``.  ``skipped`` marks a stage
     #: whose work a downstream hit made unnecessary (e.g. the plan stage under
@@ -139,7 +144,8 @@ class ExperimentResult:
             return None
         if campaign.scenario == BEHAVIORAL:
             return {"scenario": BEHAVIORAL, "engine": None, "engine_word_width": None,
-                    "lane_width": None, "workers": 1, "pack_contexts": None}
+                    "lane_width": None, "workers": 1, "pack_contexts": None,
+                    "dispatch": None}
         engine = self.overrides.get("engine", campaign.engine)
         info = ENGINE_INFO.get(engine)
         lane_width = campaign.lane_width
@@ -152,6 +158,7 @@ class ExperimentResult:
             "lane_width": lane_width,
             "workers": self.overrides.get("workers", campaign.workers),
             "pack_contexts": campaign.pack_contexts,
+            "dispatch": dict(self.dispatch) if self.dispatch else None,
         }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -254,6 +261,7 @@ class Session:
         *,
         cache_scope: Optional[str] = None,
         cache: Optional[Dict[str, Dict[str, Any]]] = None,
+        dispatch: Optional[Dict[str, Optional[str]]] = None,
     ) -> Dict[str, CampaignResult]:
         """The plan + campaign stages against an already-hardened netlist.
 
@@ -269,7 +277,9 @@ class Session:
         :class:`~repro.fi.orchestrator.CampaignPlan` (same shape, lane budget
         and packing) still pre-seeds the executor, so only the execute phase
         runs.  ``cache`` (when given) receives the ``"plan"``/``"campaign"``
-        hit/miss records.
+        hit/miss records; ``dispatch`` (when given) receives each scenario's
+        execution-path provenance (:attr:`FaultCampaign.last_dispatch`, or
+        ``"cached"`` for counters replayed from the store).
         """
         report = report or ReportSpec()
         # Resolve the scenario first: spec validation behaves identically on
@@ -303,6 +313,9 @@ class Session:
                 else:
                     records["campaign"]["status"] = "hit"
                     records["plan"]["status"] = "skipped"
+                    if dispatch is not None:
+                        for name in results:
+                            dispatch[name] = "cached"
                     self._emit("campaign", f"cache hit {campaign_key[:12]}")
                     return results
 
@@ -331,6 +344,8 @@ class Session:
             for name, scenario in scenarios.items():
                 self._emit("campaign", name)
                 results[name] = executor.run(scenario)
+                if dispatch is not None:
+                    dispatch[name] = getattr(executor, "last_dispatch", None)
             if plans_cached and not plan_hit:
                 _save_json_artifact(
                     self.store, "plan", plan_key, {"plans": executor.export_plans()}
@@ -438,6 +453,7 @@ class Session:
                     report=spec.report,
                     cache_scope=keys["harden"],
                     cache=cache,
+                    dispatch=result.dispatch,
                 )
                 if campaign.compare:
                     stored_compare = report_doc.get("compare") if report_doc else None

@@ -183,10 +183,17 @@ class CampaignSpec:
     cycles: int = 1
     fault_duration: str = "transient"
     glitch_schedule: Optional[Tuple[Tuple[int, str, str], ...]] = None
+    spot_radius: Optional[float] = None
+    spot_trials: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.effects is not None:
             object.__setattr__(self, "effects", tuple(self.effects))
+            if not self.effects:
+                raise ValueError(
+                    "effects must be non-empty (omit the field for the "
+                    "scenario default)"
+                )
             unknown = sorted(set(self.effects) - set(EFFECT_NAMES))
             if unknown:
                 raise ValueError(
@@ -243,6 +250,22 @@ class CampaignSpec:
                     )
                 shots.append((cycle, net, effect))
             object.__setattr__(self, "glitch_schedule", tuple(shots))
+        if self.spot_radius is not None and (
+            isinstance(self.spot_radius, bool)
+            or not isinstance(self.spot_radius, (int, float))
+            or self.spot_radius <= 0
+        ):
+            raise ValueError(
+                f"spot_radius must be a number > 0, got {self.spot_radius!r}"
+            )
+        if self.spot_trials is not None and (
+            not isinstance(self.spot_trials, int)
+            or isinstance(self.spot_trials, bool)
+            or self.spot_trials < 0
+        ):
+            raise ValueError(
+                f"spot_trials must be an integer >= 0, got {self.spot_trials!r}"
+            )
 
     def resolved_effects(self, default: Sequence[FaultEffect]) -> Tuple[FaultEffect, ...]:
         """The requested :class:`FaultEffect` tuple, or ``default`` when unset."""
@@ -264,6 +287,12 @@ class CampaignSpec:
             del data["glitch_schedule"]
         else:
             data["glitch_schedule"] = [list(shot) for shot in self.glitch_schedule]
+        # Laser-spot fields likewise appear only when set, keeping pre-laser
+        # content hashes stable.
+        if self.spot_radius is None:
+            del data["spot_radius"]
+        if self.spot_trials is None:
+            del data["spot_trials"]
         return data
 
     @classmethod

@@ -22,7 +22,10 @@ Modes:
 * ``bitflip``    -- the behavioural FT1/FT2 campaign re-expressed as a
   structural scenario on the shared engines;
 * ``glitch``     -- multi-shot ``(cycle, net, effect)`` schedules, spec-file
-  driven via ``scfi run``.
+  driven via ``scfi run``;
+* ``laser``      -- spatially-adjacent multi-net fault groups sampled from a
+  deterministic placement (``--spot-radius``/``--spot-trials``), optionally
+  held across a multi-cycle trace (``--cycles``/``--fault-duration``).
 """
 
 from __future__ import annotations
@@ -134,9 +137,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-duration",
         choices=["transient", "persistent"],
         default="transient",
-        help="temporal mode: inject during one cycle only (transient) or hold "
-        "the fault for the whole trace (persistent stuck-at, the laser/glitch "
-        "model)",
+        help="temporal/laser modes: inject during one cycle only (transient) "
+        "or hold the fault for the whole trace (persistent stuck-at, the "
+        "laser/glitch model)",
+    )
+    parser.add_argument(
+        "--spot-radius",
+        type=float,
+        default=None,
+        help="laser mode: spot radius on the derived placement (unit pitch = "
+        "one diffusion-block column / one logic level; default 1.5)",
+    )
+    parser.add_argument(
+        "--spot-trials",
+        type=int,
+        default=None,
+        help="laser mode: number of sampled (transition, spot-center) trials "
+        "(default 100)",
     )
     return parser
 
@@ -159,6 +176,8 @@ def spec_from_args(args) -> ExperimentSpec:
             compare=args.compare,
             cycles=args.cycles,
             fault_duration=args.fault_duration,
+            spot_radius=args.spot_radius,
+            spot_trials=args.spot_trials,
         ),
     )
 
@@ -186,10 +205,14 @@ def main(argv=None) -> int:
     if args.mode == "glitch":
         parser.error("the glitch scenario needs a (cycle, net, effect) schedule; "
                      "describe it in a spec file and run it via 'scfi run'")
-    if args.cycles != 1 and args.mode != "temporal":
-        parser.error(f"--cycles applies to --mode temporal, not --mode {args.mode}")
-    if args.fault_duration != "transient" and args.mode != "temporal":
-        parser.error(f"--fault-duration applies to --mode temporal, not --mode {args.mode}")
+    if args.cycles != 1 and args.mode not in ("temporal", "laser"):
+        parser.error(f"--cycles applies to --mode temporal/laser, not --mode {args.mode}")
+    if args.fault_duration != "transient" and args.mode not in ("temporal", "laser"):
+        parser.error(f"--fault-duration applies to --mode temporal/laser, not --mode {args.mode}")
+    if args.spot_radius is not None and args.mode != "laser":
+        parser.error(f"--spot-radius applies to --mode laser, not --mode {args.mode}")
+    if args.spot_trials is not None and args.mode != "laser":
+        parser.error(f"--spot-trials applies to --mode laser, not --mode {args.mode}")
 
     result = Session().run(spec_from_args(args))
     if result.behavioral is not None:

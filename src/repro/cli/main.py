@@ -174,6 +174,9 @@ def _run(args) -> int:
                 key = record.get("key")
                 suffix = f" {key[:12]}" if key else ""
                 print(f"[scfi] cache {stage}: {record['status']}{suffix}", file=sys.stderr)
+        if args.verbose and result.dispatch:
+            for name, path in result.dispatch.items():
+                print(f"[scfi] dispatch {name}: {path}", file=sys.stderr)
 
     payload = json.dumps(result.to_dict(), indent=2)
     if args.out:

@@ -7,6 +7,8 @@ from repro.fi.orchestrator import (
     CampaignResult,
     ExhaustiveSingleFault,
     FaultCampaign,
+    JobArrays,
+    LaserSpot,
     MultiShotGlitch,
     RandomMultiFault,
     TemporalSingleFault,
@@ -35,10 +37,12 @@ __all__ = [
     "RedundantFaultInjector",
     "CampaignResult",
     "FaultCampaign",
+    "JobArrays",
     "ExhaustiveSingleFault",
     "TemporalSingleFault",
     "MultiShotGlitch",
     "RandomMultiFault",
+    "LaserSpot",
     "BehavioralBitFlip",
     "effect_sweep_scenarios",
     "region_sweep_scenarios",

@@ -1,0 +1,1576 @@
+"""Fault-campaign execution over the bit-parallel engines.
+
+:class:`FaultCampaign` is bound to one :class:`ScfiNetlist` and owns the
+compiled bit-parallel engine (lane 0 golden, lanes 1..W one fault group
+each), the per-edge activation contexts and the batch classifier.  Every
+scenario (:mod:`repro.fi.scenarios`) is lowered to the group-aware
+:class:`~repro.fi.scenarios.JobArrays` IR first -- either natively
+(``jobs_arrays``) or through the :meth:`JobArrays.from_jobs` adapter -- and
+the IR is the only currency between the executor, the lane planner
+(:mod:`repro.fi.planner`), the four engines and the shm/pickle transports.
+The object :data:`~repro.fi.scenarios.InjectionJob` stream is re-materialised
+from the IR (:meth:`JobArrays.to_jobs`) only where objects are genuinely
+needed: the scalar reference oracle and ``keep_outcomes`` hydration.
+
+Per run, :attr:`FaultCampaign.last_dispatch` records whether the fault groups
+were applied *array-native* (the numpy engine scattering flat fault arrays
+straight onto lane words) or via the generic per-group *spec-stream*
+(:class:`~repro.netlist.simulate.FaultSet` overrides); counters are
+bit-identical either way, and ``dispatch="spec-stream"`` forces the generic
+path for A/B benchmarking.  :attr:`FaultCampaign.last_transport` records the
+shm/pickle transport of sharded runs the same way.
+
+Campaign execution is split into an explicit *plan* phase (cached, see
+:mod:`repro.fi.planner`) and an *execute* phase.  Execution binds the per-job
+fault groups to the planned lanes and either runs every batch in-process
+(``workers=1``, the default) or dispatches batches to a ``multiprocessing``
+pool (``workers=N``): each worker process builds its own compiled engine once
+and returns raw per-lane classifications that the parent merges back in
+deterministic job order, so counters -- and kept outcomes -- are
+bit-identical to single-process runs on every engine.
+
+Fault targets are validated up front: a scenario naming a net the netlist
+does not contain raises :class:`ValueError` (on every engine) instead of
+silently reporting the fault as masked.
+
+Everything here is re-exported from :mod:`repro.fi.orchestrator`, the
+historical single-module home, so imports and pickles keep working.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.structure import ScfiNetlist
+from repro.fi.injector import ScfiFaultInjector, cfg_successor_map, fault_set
+from repro.fi.model import (
+    Classification,
+    Fault,
+    FaultEffect,
+    FaultOutcome,
+    classify_observation,
+)
+from repro.fi import shm_transport
+from repro.fi.planner import (
+    PLAN_CACHE_LIMIT,
+    PLAN_CACHE_MAX_JOBS,
+    CampaignPlan,
+    PlannedBatch,
+)
+from repro.fi.scenarios import (
+    EVERY_CYCLE,
+    InjectionJob,
+    JobArrays,
+    transition_contexts,
+)
+from repro.fi.shm_transport import ShmBatchRef
+from repro.fsm.cfg import CfgEdge
+from repro.netlist.parallel import CompiledNetlist
+from repro.netlist.parallel_np import MODE_STUCK0, MODE_STUCK1, NumpyCompiledNetlist
+from repro.netlist.simulate import FaultSet
+
+#: Fault groups packed into one bit-parallel pass (plus the golden lane 0)
+#: on the bignum engines, where each extra lane lengthens every big-int op.
+DEFAULT_LANE_WIDTH = 256
+
+#: Default lane budget of the word-sliced numpy engine: lanes cost 1/64 of a
+#: machine word each, so wide passes amortise the per-batch overhead instead
+#: of inflating per-op cost.
+DEFAULT_NUMPY_LANE_WIDTH = 4096
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Static engine metadata recorded in experiment provenance.
+
+    ``word_width`` is the machine word the engine slices lanes onto (``None``
+    for the arbitrary-precision bignum and scalar paths); ``default_lane_width``
+    is the lane budget used when a campaign does not pin one.
+    """
+
+    word_width: Optional[int]
+    default_lane_width: int
+
+
+#: Metadata for every built-in engine; ``FaultCampaign.ENGINES`` derives from
+#: the (sorted) keys, so CLI choices and the API registry track this table.
+ENGINE_INFO: Dict[str, EngineInfo] = {
+    "parallel": EngineInfo(word_width=None, default_lane_width=DEFAULT_LANE_WIDTH),
+    "parallel-compiled": EngineInfo(word_width=None, default_lane_width=DEFAULT_LANE_WIDTH),
+    "parallel-numpy": EngineInfo(word_width=64, default_lane_width=DEFAULT_NUMPY_LANE_WIDTH),
+    "scalar": EngineInfo(word_width=None, default_lane_width=DEFAULT_LANE_WIDTH),
+}
+
+#: ``FaultCampaign(dispatch=...)`` choices: ``"auto"`` applies fault groups
+#: array-native whenever the engine supports it, ``"spec-stream"`` forces the
+#: generic per-group FaultSet path (for A/B benchmarks and cross-checks).
+DISPATCH_MODES = ("auto", "spec-stream")
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a fault campaign.
+
+    ``redirected`` counts undetected within-CFG deviations (the Section 7
+    limitation); ``hijacked`` counts undetected deviations onto states that
+    are not CFG successors of the faulted transition's source.
+    ``transitions_evaluated`` counts the *distinct* transition contexts the
+    scenario's jobs actually touched -- not the number of reachable CFG
+    edges -- so per-transition rates stay meaningful for scenarios that
+    restrict themselves to a context subset.
+    """
+
+    name: str
+    total_injections: int = 0
+    masked: int = 0
+    detected: int = 0
+    redirected: int = 0
+    hijacked: int = 0
+    transitions_evaluated: int = 0
+    target_nets: int = 0
+    outcomes: List[FaultOutcome] = field(default_factory=list)
+    keep_outcomes: bool = False
+
+    def tally(self, classification: Classification) -> None:
+        """Bump the counter for one classified injection."""
+        self.tally_bulk(classification, 1)
+
+    def tally_bulk(self, classification: Classification, count: int) -> None:
+        """Bump the counter for ``count`` identically classified injections."""
+        self.total_injections += count
+        if classification is Classification.MASKED:
+            self.masked += count
+        elif classification is Classification.DETECTED:
+            self.detected += count
+        elif classification is Classification.REDIRECTED:
+            self.redirected += count
+        else:
+            self.hijacked += count
+
+    def record(self, outcome: FaultOutcome) -> None:
+        self.tally(outcome.classification)
+        if self.keep_outcomes:
+            self.outcomes.append(outcome)
+
+    @property
+    def hijack_rate(self) -> float:
+        """Fraction of injections that left the CFG undetected."""
+        if self.total_injections == 0:
+            return 0.0
+        return self.hijacked / self.total_injections
+
+    @property
+    def detection_rate(self) -> float:
+        if self.total_injections == 0:
+            return 0.0
+        return self.detected / self.total_injections
+
+    @property
+    def undetected_deviation_rate(self) -> float:
+        """Fraction of injections that deviated the control flow undetected."""
+        if self.total_injections == 0:
+            return 0.0
+        return (self.hijacked + self.redirected) / self.total_injections
+
+    def counters(self) -> Tuple[int, int, int, int]:
+        """(masked, detected, redirected, hijacked) -- for oracle comparisons."""
+        return (self.masked, self.detected, self.redirected, self.hijacked)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-able form: counters, rates and (when kept) outcomes.
+
+        Enums are lowered to their wire values -- faults as ``[net, effect]``
+        pairs and classifications as strings, the same compact conventions the
+        process-pool wire format uses -- so results persist without pickling.
+        """
+        data: Dict[str, object] = {
+            "name": self.name,
+            "total_injections": self.total_injections,
+            "masked": self.masked,
+            "detected": self.detected,
+            "redirected": self.redirected,
+            "hijacked": self.hijacked,
+            "transitions_evaluated": self.transitions_evaluated,
+            "target_nets": self.target_nets,
+            "hijack_rate": self.hijack_rate,
+            "detection_rate": self.detection_rate,
+            "undetected_deviation_rate": self.undetected_deviation_rate,
+        }
+        if self.keep_outcomes:
+            data["outcomes"] = [
+                {
+                    "faults": [[fault.net, fault.effect.value] for fault in outcome.faults],
+                    "source_state": outcome.source_state,
+                    "expected_state": outcome.expected_state,
+                    "observed_code": outcome.observed_code,
+                    "observed_state": outcome.observed_state,
+                    "classification": outcome.classification.value,
+                }
+                for outcome in self.outcomes
+            ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignResult":
+        """Restore a result from its :meth:`to_dict` form (cache replay).
+
+        Derived rates are recomputed from the counters, not read back.  The
+        wire format keys faults as ``[net, effect]`` pairs (no ``cycle``
+        field), matching what :meth:`to_dict` emits.
+        """
+        outcomes_data = data.get("outcomes")
+        result = cls(
+            name=data["name"],
+            total_injections=data["total_injections"],
+            masked=data["masked"],
+            detected=data["detected"],
+            redirected=data["redirected"],
+            hijacked=data["hijacked"],
+            transitions_evaluated=data["transitions_evaluated"],
+            target_nets=data["target_nets"],
+            keep_outcomes=outcomes_data is not None,
+        )
+        if outcomes_data is not None:
+            result.outcomes = [
+                FaultOutcome.of_faults(
+                    tuple(
+                        Fault(net=net, effect=FaultEffect(effect))
+                        for net, effect in outcome["faults"]
+                    ),
+                    source_state=outcome["source_state"],
+                    expected_state=outcome["expected_state"],
+                    observed_code=outcome["observed_code"],
+                    observed_state=outcome["observed_state"],
+                    classification=Classification(outcome["classification"]),
+                )
+                for outcome in outcomes_data
+            ]
+        return result
+
+    def format(self) -> str:
+        return (
+            f"{self.name}: {self.total_injections} injections over "
+            f"{self.transitions_evaluated} transitions / {self.target_nets} nets -> "
+            f"{self.hijacked} hijacks ({100.0 * self.hijack_rate:.2f} %), "
+            f"{self.redirected} in-CFG redirections, "
+            f"{self.detected} detected, {self.masked} masked"
+        )
+
+
+#: Per-job evaluation result: (classification, observed code, observed state).
+_JobRow = Tuple[Classification, int, Optional[str]]
+
+#: Classification by wire index (workers ship the index, not the enum --
+#: pickling 10k enum members costs more than the netlist evaluation).
+_CLASSIFICATIONS = tuple(Classification)
+_CLASSIFICATION_INDEX = {cls: i for i, cls in enumerate(_CLASSIFICATIONS)}
+
+#: Wire format of one fault group: ((net, effect value), ...).
+_FaultSpec = Tuple[Tuple[str, str], ...]
+#: Wire format of one job: (context index, fault group spec).
+_JobSpec = Tuple[int, _FaultSpec]
+#: Worker batch reply: per-classification counters in ``_CLASSIFICATIONS``
+#: order plus, with keep_outcomes, per-job (classification index, observed
+#: code, observed state) rows.  Both sides index via ``_CLASSIFICATIONS``, so
+#: the format survives enum reordering or extension.
+_BatchReply = Tuple[Tuple[int, ...], Optional[List[Tuple[int, int, Optional[str]]]]]
+
+#: Worker-process campaign state, built once per process by the pool
+#: initializer (each worker compiles its own bit-parallel netlist).
+_WORKER_CAMPAIGN: Optional["FaultCampaign"] = None
+
+
+def _job_specs(jobs: Sequence[InjectionJob]) -> List[_JobSpec]:
+    """Lower jobs to the compact wire format shipped to scalar pool workers."""
+    return [
+        (index, tuple((fault.net, fault.effect._value_) for fault in faults))
+        for index, faults in jobs
+    ]
+
+
+#: Wire format of one temporal fault group: ((cycle-or-None, net, effect), ...).
+_TemporalFaultSpec = Tuple[Tuple[Optional[int], str, str], ...]
+#: Wire format of one temporal job: (context index, temporal fault group).
+_TemporalJobSpec = Tuple[int, _TemporalFaultSpec]
+
+
+def _temporal_job_specs(jobs: Sequence[InjectionJob]) -> List[_TemporalJobSpec]:
+    """Lower temporal jobs (cycle-annotated faults) to the wire format."""
+    return [
+        (
+            index,
+            tuple((fault.cycle, fault.net, fault.effect._value_) for fault in faults),
+        )
+        for index, faults in jobs
+    ]
+
+
+def _spec_temporal_faults(spec: _TemporalFaultSpec) -> Tuple[Fault, ...]:
+    """Rebuild the cycle-annotated fault group of one temporal wire spec."""
+    return tuple(
+        Fault(net=net, effect=FaultEffect(effect), cycle=cycle)
+        for cycle, net, effect in spec
+    )
+
+
+def _worker_init(
+    structure: ScfiNetlist,
+    engine: str,
+    lane_width: int,
+    pack_contexts: bool,
+    keep_outcomes: bool,
+    dispatch: str = "auto",
+) -> None:
+    """Pool initializer: build this worker's campaign executor exactly once."""
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = FaultCampaign(
+        structure,
+        engine=engine,
+        lane_width=lane_width,
+        keep_outcomes=keep_outcomes,
+        pack_contexts=pack_contexts,
+        dispatch=dispatch,
+    )
+    if engine != "scalar":
+        compiled = _WORKER_CAMPAIGN.compiled  # compile the op list up front
+        if engine == "parallel-compiled":
+            compiled.source_evaluator()
+
+
+def _reply_from_rows(campaign: "FaultCampaign", rows: List[_JobRow]) -> _BatchReply:
+    """Aggregate worker rows into counters (plus rows when outcomes are kept)."""
+    counters = [0] * len(_CLASSIFICATIONS)
+    for classification, _, _ in rows:
+        counters[_CLASSIFICATION_INDEX[classification]] += 1
+    if not campaign.keep_outcomes:
+        return tuple(counters), None
+    return (
+        tuple(counters),
+        [
+            (_CLASSIFICATION_INDEX[classification], observed, observed_state)
+            for classification, observed, observed_state in rows
+        ],
+    )
+
+
+def _resolve_worker_batch(handle) -> Tuple[PlannedBatch, Optional[ShmBatchRef]]:
+    """Materialise a task handle into a planned batch.
+
+    Pickled tasks carry the :class:`PlannedBatch` itself; shared-memory tasks
+    carry a :class:`~repro.fi.shm_transport.ShmBatchRef` whose lane words are
+    read in place -- zero-copy uint64 rows for the numpy engine, rebuilt
+    bignum ints for the others.
+    """
+    if not isinstance(handle, ShmBatchRef):
+        return handle, None
+    input_words = register_words = None
+    input_rows, register_rows = shm_transport.batch_words(handle)
+    if input_rows is not None:
+        if _WORKER_CAMPAIGN.engine == "parallel-numpy":
+            input_words = {net: input_rows[i] for i, net in enumerate(handle.input_nets)}
+            register_words = {
+                net: register_rows[i] for i, net in enumerate(handle.register_nets)
+            }
+        else:
+            input_words = shm_transport.rows_to_ints(handle.input_nets, input_rows)
+            register_words = shm_transport.rows_to_ints(handle.register_nets, register_rows)
+    batch = PlannedBatch(
+        start=handle.start,
+        stop=handle.stop,
+        golden_contexts=handle.golden_contexts,
+        input_words=input_words,
+        register_words=register_words,
+    )
+    return batch, handle
+
+
+def _worker_run_batch(task) -> _BatchReply:
+    """Evaluate one planned batch in a worker process.
+
+    ``task`` is ``(handle, payload)``: the handle is a :class:`PlannedBatch`
+    (pickled transport) or :class:`ShmBatchRef` (shared-memory transport);
+    the payload carries the batch's slice of the :class:`JobArrays` IR --
+    ``("ir", native, arrays)`` for single-cycle campaigns or
+    ``("ir-temporal", native, cycles, arrays)`` for multi-cycle traces.
+    ``native`` is the parent's dispatch decision (uniform across batches, so
+    workers and parent agree by construction): array-native slices the flat
+    fault arrays straight onto grouped lanes, spec-stream rebuilds per-group
+    :class:`~repro.netlist.simulate.FaultSet` overrides through the IR's
+    object adapter.  With shared memory the per-job observed codes are
+    written back into the segment's code slots and the reply carries only
+    counters -- the parent re-derives outcome rows with the same memoised
+    classifier.
+    """
+    handle, payload = task
+    campaign = _WORKER_CAMPAIGN
+    batch, ref = _resolve_worker_batch(handle)
+    num_golden = len(batch.golden_contexts)
+    if payload[0] == "ir-temporal":
+        _, native, cycles, arrays = payload
+        if native:
+            codes = campaign._evaluate_temporal_batch_arrays(batch, cycles, arrays)
+            if ref is not None:
+                shm_transport.write_codes(ref, codes)
+            return (
+                tuple(campaign._classified_counts_temporal(cycles, arrays.contexts, codes)),
+                None,
+            )
+        batch_jobs = arrays.to_jobs(campaign._net_names())
+        rows = campaign._evaluate_temporal_batch(batch, cycles, batch_jobs)
+        if ref is not None and ref.codes_offset is not None:
+            shm_transport.write_codes(ref, [observed for _, observed, _ in rows])
+            counters, _ = _reply_from_rows(campaign, rows)
+            return counters, None
+        return _reply_from_rows(campaign, rows)
+    _, native, arrays = payload
+    if native:
+        codes = campaign._evaluate_batch_arrays(batch, arrays)
+        if ref is not None:
+            shm_transport.write_codes(ref, codes)
+        return tuple(campaign._classified_counts(arrays.contexts, codes)), None
+    batch_jobs = arrays.to_jobs(campaign._net_names())
+    fault_lanes: List[Optional[FaultSet]] = [None] * num_golden
+    fault_lanes.extend(fault_set(faults) for _, faults in batch_jobs)
+    codes, goldens = campaign._evaluate_batch_codes(batch, fault_lanes)
+    rows: List[_JobRow] = []
+    for lane, (index, _) in enumerate(batch_jobs, start=num_golden):
+        classification, observed_state = campaign._classify(index, goldens[index], codes[lane])
+        rows.append((classification, codes[lane], observed_state))
+    if ref is not None and ref.codes_offset is not None:
+        shm_transport.write_codes(ref, codes[num_golden : num_golden + len(batch_jobs)])
+        counters, _ = _reply_from_rows(campaign, rows)
+        return counters, None
+    return _reply_from_rows(campaign, rows)
+
+
+def _worker_run_scalar(specs: List[_JobSpec]) -> _BatchReply:
+    """Replay one job chunk on the worker's scalar reference injector."""
+    campaign = _WORKER_CAMPAIGN
+    jobs = [
+        (
+            index,
+            tuple(Fault(net=net, effect=FaultEffect(effect)) for net, effect in spec),
+        )
+        for index, spec in specs
+    ]
+    return _reply_from_rows(campaign, campaign._evaluate_scalar(jobs))
+
+
+def _worker_run_temporal_scalar(task: Tuple[int, List[_TemporalJobSpec]]) -> _BatchReply:
+    """Replay one temporal job chunk on the worker's scalar reference injector."""
+    cycles, specs = task
+    campaign = _WORKER_CAMPAIGN
+    jobs = [(index, _spec_temporal_faults(spec)) for index, spec in specs]
+    return _reply_from_rows(campaign, campaign._evaluate_temporal_scalar(cycles, jobs))
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+class FaultCampaign:
+    """Executes fault scenarios against one SCFI-protected netlist.
+
+    ``engine`` selects the evaluation backend: ``"parallel"`` compiles the
+    netlist once and evaluates batches of fault groups per pass on the
+    interpreted op list, ``"parallel-compiled"`` uses the source-compiled
+    evaluator generated by
+    :meth:`~repro.netlist.parallel.CompiledNetlist.compile_to_source` for the
+    same batches, and ``"scalar"`` replays every injection through the
+    reference :class:`~repro.fi.injector.ScfiFaultInjector`.
+
+    The bit-parallel engines pack lanes **across transition contexts** (one
+    golden lane per distinct context in a pass, each asserted against the
+    analytic next-state code) so that campaigns over few nets but many
+    transitions still fill the lane budget; ``pack_contexts=False`` restores
+    the one-context-per-pass batching for comparison benchmarks.
+
+    ``workers=N`` (default 1) dispatches the planned batches to a process
+    pool: every worker builds its own compiled netlist once and streams raw
+    per-lane classifications back to the parent, which merges them in job
+    order -- counters and outcomes are bit-identical to ``workers=1`` on
+    every engine.  The pool is created lazily on first use and reused across
+    :meth:`run`/:meth:`run_sweep` calls; call :meth:`close` (or use the
+    campaign as a context manager) to release it.
+    """
+
+    ENGINES = tuple(sorted(ENGINE_INFO))
+
+    def __init__(
+        self,
+        structure: ScfiNetlist,
+        engine: str = "parallel",
+        lane_width: Optional[int] = None,
+        keep_outcomes: bool = False,
+        pack_contexts: bool = True,
+        workers: int = 1,
+        use_shared_memory: bool = True,
+        dispatch: str = "auto",
+    ):
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (choose from {self.ENGINES})")
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch {dispatch!r} (choose from {DISPATCH_MODES})"
+            )
+        if lane_width is None:
+            lane_width = ENGINE_INFO[engine].default_lane_width
+        if not isinstance(lane_width, int) or isinstance(lane_width, bool) or lane_width < 1:
+            raise ValueError(
+                f"lane_width must be an integer >= 1, got {lane_width!r} "
+                f"(engine {engine!r} accepts any positive lane count; its default "
+                f"is {ENGINE_INFO[engine].default_lane_width})"
+            )
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.structure = structure
+        self.hardened = structure.hardened
+        self.engine = engine
+        self.lane_width = lane_width
+        self.keep_outcomes = keep_outcomes
+        self.pack_contexts = pack_contexts
+        self.workers = workers
+        self.use_shared_memory = use_shared_memory
+        self.dispatch = dispatch
+        #: Transport of the most recent sharded execution ("shm"/"pickle"),
+        #: None until one ran -- introspection for tests and diagnostics.
+        self.last_transport: Optional[str] = None
+        #: Fault-application path of the most recent run ("array-native"/
+        #: "spec-stream"), None until one ran -- provenance for experiment
+        #: results, mirroring :attr:`last_transport`.
+        self.last_dispatch: Optional[str] = None
+        self.injector = ScfiFaultInjector(structure)
+        self._use_source = engine == "parallel-compiled"
+        self._is_numpy = engine == "parallel-numpy"
+        self._successors = cfg_successor_map(self.hardened.fsm)
+        self._error_states = frozenset([self.hardened.error_state])
+        self.contexts: List[Tuple[CfgEdge, Dict[str, int]]] = transition_contexts(structure)
+        self._compiled: Optional[CompiledNetlist] = None
+        self._state_d_ids: Optional[List[int]] = None
+        self._scalar_net_index: Optional[Dict[str, int]] = None
+        self._net_names_cache: Optional[List[str]] = None
+        self._known_nets = frozenset(structure.netlist.primary_inputs) | frozenset(
+            gate.output for gate in structure.netlist.gates.values()
+        )
+        # Per-context encoded inputs / register loads, built on first use.
+        self._encoded_inputs: Dict[int, Dict[str, int]] = {}
+        self._registers: Dict[int, Dict[str, int]] = {}
+        # Nets that read 1 in a context (lane-word assembly skips the zeros).
+        self._ones: Dict[int, Tuple[List[str], List[str]]] = {}
+        # Classification is a pure function of (context, observed code).
+        self._classify_cache: Dict[Tuple[int, int], Tuple[Classification, Optional[str]]] = {}
+        # Analytic fault-free trajectories per context: (state, code) at each
+        # cycle, extended lazily as longer traces are requested.
+        self._trajectories: Dict[int, List[Tuple[str, int]]] = {}
+        # Temporal classification memo: (context, cycles, observed code).
+        self._classify_temporal_cache: Dict[
+            Tuple[int, int, int], Tuple[Classification, Optional[str]]
+        ] = {}
+        # Plans keyed by job shape; contexts are fixed per campaign instance.
+        self._plan_cache: Dict[Tuple, CampaignPlan] = {}
+        self._plan_cache_jobs = 0
+        self.plan_cache_hits = 0
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Process-pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """The lazily created worker pool (``fork`` start method where available).
+
+        ``fork`` lets workers inherit the netlist instead of re-importing and
+        unpickling it; on platforms without it the default start method is
+        used and the initializer arguments travel by pickle (which
+        :class:`~repro.netlist.parallel.CompiledNetlist` supports).
+        """
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context("fork" if "fork" in methods else None)
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(
+                    self.structure,
+                    self.engine,
+                    self.lane_width,
+                    self.pack_contexts,
+                    self.keep_outcomes,
+                    self.dispatch,
+                ),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (no-op for ``workers=1`` / unused pools)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "FaultCampaign":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @property
+    def compiled(self) -> CompiledNetlist:
+        """The lazily compiled bit-parallel form of the protected netlist."""
+        if self._compiled is None:
+            factory = NumpyCompiledNetlist if self._is_numpy else CompiledNetlist
+            self._compiled = factory(self.structure.netlist)
+        return self._compiled
+
+    @property
+    def net_index(self) -> Mapping[str, int]:
+        """Dense net -> row mapping the :class:`JobArrays` IR is lowered with.
+
+        The bit-parallel engines use the compiled netlist's row ids (fault
+        rows index the engine's value planes directly); the scalar oracle --
+        which never compiles -- uses a stable sorted index of the known nets,
+        since its rows only round-trip back to names.
+        """
+        if self.engine != "scalar":
+            return self.compiled.net_id
+        if self._scalar_net_index is None:
+            self._scalar_net_index = {
+                net: row for row, net in enumerate(sorted(self._known_nets))
+            }
+        return self._scalar_net_index
+
+    def _net_names(self) -> List[str]:
+        """Inverse of :attr:`net_index` (``names[row] == net``), cached."""
+        if self._net_names_cache is None:
+            index = self.net_index
+            names: List[Optional[str]] = [None] * (
+                max(index.values()) + 1 if index else 0
+            )
+            for net, row in index.items():
+                names[row] = net
+            self._net_names_cache = names
+        return self._net_names_cache
+
+    # ------------------------------------------------------------------
+    # Fault-target validation
+    # ------------------------------------------------------------------
+    def validate_target_nets(self, nets: Iterable[str]) -> None:
+        """Raise :class:`ValueError` naming every net the netlist lacks.
+
+        A fault on a nonexistent net would be silently dropped by both
+        engines and counted as MASKED -- a typo'd ``--nets`` list would
+        report perfect security.
+        """
+        unknown = sorted(set(nets) - self._known_nets)
+        if unknown:
+            raise ValueError(
+                f"fault target nets not in netlist {self.structure.netlist.name!r}: "
+                + ", ".join(unknown)
+            )
+
+    def _validated_jobs(self, jobs: Iterable[InjectionJob]) -> Iterator[InjectionJob]:
+        """Pass jobs through, rejecting faults on nets the netlist lacks."""
+        known = self._known_nets
+        for job in jobs:
+            for fault in job[1]:
+                if fault.net not in known:
+                    self.validate_target_nets(f.net for f in job[1])
+            yield job
+
+    # ------------------------------------------------------------------
+    def run(self, scenario) -> CampaignResult:
+        """Execute one scenario: lower to the IR, plan, execute, merge."""
+        result = CampaignResult(
+            name=f"{scenario.describe()} ({self.structure.netlist.name})",
+            keep_outcomes=self.keep_outcomes,
+        )
+        scenario.annotate(result, self)
+        cycles = int(getattr(scenario, "cycles", 1) or 1)
+        arrays = self.lower_scenario(scenario, cycles)
+        if not arrays.num_jobs:
+            return result
+        result.transitions_evaluated = int(np.unique(arrays.contexts).size)
+        if cycles > 1:
+            self._run_temporal_ir(arrays, cycles, result)
+        else:
+            self._run_single_ir(arrays, result)
+        return result
+
+    def lower_scenario(self, scenario, cycles: int = 1) -> JobArrays:
+        """Lower one scenario to the group-aware :class:`JobArrays` IR.
+
+        Scenarios with a native ``jobs_arrays`` lowering (the exhaustive
+        sweep family) synthesise their arrays directly; everything else goes
+        through the generic :meth:`JobArrays.from_jobs` adapter over the
+        validated object job stream.  Either way the IR preserves scenario
+        order exactly, so plans and counters are independent of the lowering
+        route.
+        """
+        maker = getattr(scenario, "jobs_arrays", None)
+        if maker is not None:
+            arrays = maker(self)
+            if arrays is not None:
+                return arrays
+        jobs = list(self._validated_jobs(scenario.jobs(self)))
+        return JobArrays.from_jobs(jobs, self.net_index, num_cycles=cycles)
+
+    def _use_array_native(self, arrays: JobArrays) -> bool:
+        """Whether the IR can be applied array-native on this campaign.
+
+        Only the numpy engine scatters flat fault arrays, and only for
+        counters-only campaigns whose state code fits one machine word (the
+        vectorised classifier packs ``(context, code)`` into a uint64 key).
+        Groups sticking the *same* net at 0 and 1 fall back to the generic
+        FaultSet path: the object semantics are last-fault-wins while the
+        array scatter OR-combines stuck values, and the fallback keeps
+        counters identical to the oracle in that corner.
+        """
+        if not self._is_numpy or self.keep_outcomes or self.dispatch == "spec-stream":
+            return False
+        state_bits = len(self.structure.state_d)
+        if not 0 < state_bits < 64 or len(self.contexts) > (1 << (63 - state_bits)):
+            return False
+        return not self._stuck_conflicts(arrays)
+
+    @staticmethod
+    def _stuck_conflicts(arrays: JobArrays) -> bool:
+        """True when any group sticks one net at both 0 and 1."""
+        if arrays.num_jobs == 0 or arrays.num_faults <= arrays.num_jobs:
+            return False  # single-fault groups cannot conflict
+        stuck = (arrays.modes == MODE_STUCK0) | (arrays.modes == MODE_STUCK1)
+        if not bool(stuck.any()):
+            return False
+        job_of = np.repeat(
+            np.arange(arrays.num_jobs, dtype=np.int64), arrays.group_sizes()
+        )[stuck]
+        rows = arrays.net_rows[stuck].astype(np.int64)
+        modes = arrays.modes[stuck]
+        keys = job_of * (int(arrays.net_rows.max()) + 1) + rows
+        order = np.argsort(keys, kind="stable")
+        keys, modes = keys[order], modes[order]
+        return bool(np.any((keys[1:] == keys[:-1]) & (modes[1:] != modes[:-1])))
+
+    def _run_single_ir(self, arrays: JobArrays, result: CampaignResult) -> None:
+        """Execute a lowered single-cycle job stream."""
+        if self.engine == "scalar":
+            self.last_dispatch = "spec-stream"
+            jobs = arrays.to_jobs(self._net_names())
+            if self.workers > 1:
+                self._execute_scalar_sharded(jobs, result)
+            else:
+                self._record_rows(jobs, self._evaluate_scalar(jobs), result)
+            return
+        plan = self.plan_jobs(arrays.contexts.tolist())
+        native = self._use_array_native(arrays)
+        self.last_dispatch = "array-native" if native else "spec-stream"
+        if self.workers > 1:
+            self._execute_plan_sharded(plan, arrays, native, result)
+        elif native:
+            self._execute_plan_arrays(plan, arrays, result)
+        else:
+            self._execute_plan(plan, arrays.to_jobs(self._net_names()), result)
+
+    def run_sweep(self, scenarios: Mapping[str, object]) -> Dict[str, CampaignResult]:
+        """Execute several named scenarios.
+
+        The compiled netlist, the worker pool and the plan cache are all
+        shared: scenarios whose jobs touch the same context sequence (e.g.
+        the per-effect sweeps of :func:`effect_sweep_scenarios`) reuse one
+        plan instead of re-packing per scenario.
+        """
+        return {name: self.run(scenario) for name, scenario in scenarios.items()}
+
+    # ------------------------------------------------------------------
+    # Plan phase
+    # ------------------------------------------------------------------
+    def plan_jobs(self, job_contexts: Sequence[int]) -> CampaignPlan:
+        """Plan the lane packing for one job-shape (cached per shape).
+
+        A pass holds at most ``lane_width + 1`` lanes: one golden lane per
+        distinct transition context in the batch plus one fault lane per job.
+        With ``pack_contexts`` (the default) jobs from different contexts
+        share a pass -- admitting a job costs one lane, or two when it brings
+        a context the batch has not seen yet; the batch is cut when the
+        budget would overflow.  Without it every context change cuts, i.e.
+        the PR 1 one-context-per-pass behaviour.
+        """
+        key = (tuple(job_contexts), self.lane_width, self.pack_contexts)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self.plan_cache_hits += 1
+            # LRU: re-insert so sweeps cycling through shapes keep them alive.
+            del self._plan_cache[key]
+            self._plan_cache[key] = plan
+            return plan
+        if self.pack_contexts:
+            plan = self._plan_packed(key[0])
+        else:
+            plan = self._plan_per_context(key[0])
+        self._cache_plan(key, plan)
+        return plan
+
+    def _cache_plan(self, key: Tuple, plan: CampaignPlan) -> None:
+        """Admit one plan into the LRU cache, honouring both budget bounds."""
+        if plan.num_jobs > PLAN_CACHE_MAX_JOBS:
+            return
+        while self._plan_cache and (
+            len(self._plan_cache) >= PLAN_CACHE_LIMIT
+            or self._plan_cache_jobs + plan.num_jobs > PLAN_CACHE_MAX_JOBS
+        ):
+            evicted = self._plan_cache.pop(next(iter(self._plan_cache)))
+            self._plan_cache_jobs -= evicted.num_jobs
+        self._plan_cache[key] = plan
+        self._plan_cache_jobs += plan.num_jobs
+
+    def export_plans(self) -> List[Dict[str, object]]:
+        """Serialize every cached plan (with its shape key) for persistence.
+
+        The payloads are plain JSON-able dicts; :meth:`import_plans` on a
+        fresh campaign over the same netlist pre-seeds its plan cache from
+        them, turning the plan phase of a warm pipeline run into pure
+        deserialization.
+        """
+        payloads: List[Dict[str, object]] = []
+        for (job_contexts, lane_width, pack_contexts), plan in self._plan_cache.items():
+            payloads.append({
+                "job_contexts": list(job_contexts),
+                "lane_width": lane_width,
+                "pack_contexts": pack_contexts,
+                "plan": plan.to_dict(),
+            })
+        return payloads
+
+    def import_plans(self, payloads: Sequence[Mapping[str, object]]) -> int:
+        """Pre-seed the plan cache from :meth:`export_plans` payloads.
+
+        Entries planned under a different lane budget or packing mode are
+        skipped (their batches would not fit this campaign's lanes); returns
+        the number of plans admitted.
+        """
+        imported = 0
+        for payload in payloads:
+            if (
+                payload.get("lane_width") != self.lane_width
+                or payload.get("pack_contexts") != self.pack_contexts
+            ):
+                continue
+            key = (tuple(payload["job_contexts"]), self.lane_width, self.pack_contexts)
+            self._cache_plan(key, CampaignPlan.from_dict(payload["plan"]))
+            imported += 1
+        return imported
+
+    def _plan_packed(self, job_contexts: Tuple[int, ...]) -> CampaignPlan:
+        batches: List[PlannedBatch] = []
+        budget = self.lane_width + 1
+        start = 0
+        seen: Dict[int, None] = {}  # insertion-ordered golden-lane contexts
+        for position, index in enumerate(job_contexts):
+            cost = 1 if index in seen else 2
+            if position > start and (position - start) + len(seen) + cost > budget:
+                batches.append(self._packed_batch(start, position, tuple(seen), job_contexts))
+                start = position
+                seen = {}
+            seen[index] = None
+        if start < len(job_contexts):
+            batches.append(self._packed_batch(start, len(job_contexts), tuple(seen), job_contexts))
+        return CampaignPlan(batches=tuple(batches), num_jobs=len(job_contexts))
+
+    def _packed_batch(
+        self, start: int, stop: int, golden_contexts: Tuple[int, ...], job_contexts: Tuple[int, ...]
+    ) -> PlannedBatch:
+        """Assemble the lane words of one multi-context batch.
+
+        The bit of every lane carries that lane's own transition context, so
+        one evaluation covers every (context, fault group) pair of the batch.
+        """
+        context_mask: Dict[int, int] = {
+            index: 1 << lane for lane, index in enumerate(golden_contexts)
+        }
+        lane = len(golden_contexts)
+        for index in job_contexts[start:stop]:
+            context_mask[index] |= 1 << lane
+            lane += 1
+        input_words: Dict[str, int] = {}
+        register_words: Dict[str, int] = {}
+        input_get = input_words.get
+        register_get = register_words.get
+        for index, mask in context_mask.items():
+            one_inputs, one_registers = self._context_ones(index)
+            for net in one_inputs:
+                input_words[net] = input_get(net, 0) | mask
+            for net in one_registers:
+                register_words[net] = register_get(net, 0) | mask
+        return PlannedBatch(
+            start=start,
+            stop=stop,
+            golden_contexts=golden_contexts,
+            input_words=input_words,
+            register_words=register_words,
+        )
+
+    def _plan_per_context(self, job_contexts: Tuple[int, ...]) -> CampaignPlan:
+        """One-context-per-pass batches (``pack_contexts=False``)."""
+        batches: List[PlannedBatch] = []
+        start = 0
+        for position, index in enumerate(job_contexts):
+            if position > start and (
+                index != job_contexts[start] or position - start >= self.lane_width
+            ):
+                batches.append(
+                    PlannedBatch(start=start, stop=position, golden_contexts=(job_contexts[start],))
+                )
+                start = position
+        if start < len(job_contexts):
+            batches.append(
+                PlannedBatch(
+                    start=start, stop=len(job_contexts), golden_contexts=(job_contexts[start],)
+                )
+            )
+        return CampaignPlan(batches=tuple(batches), num_jobs=len(job_contexts))
+
+    # ------------------------------------------------------------------
+    # Execute phase
+    # ------------------------------------------------------------------
+    def _execute_plan(self, plan: CampaignPlan, jobs: List[InjectionJob], result: CampaignResult) -> None:
+        for batch in plan.batches:
+            self._record_rows(jobs[batch.start : batch.stop], self._evaluate_batch(batch, jobs), result)
+
+    def _execute_plan_arrays(
+        self, plan: CampaignPlan, arrays: JobArrays, result: CampaignResult
+    ) -> None:
+        """In-process array-native execution (numpy engine, counters only)."""
+        for batch in plan.batches:
+            codes = self._evaluate_batch_arrays(
+                batch, arrays.slice(batch.start, batch.stop)
+            )
+            counts = self._classified_counts(arrays.contexts[batch.start : batch.stop], codes)
+            for classification, count in zip(_CLASSIFICATIONS, counts):
+                if count:
+                    result.tally_bulk(classification, count)
+
+    def _execute_plan_sharded(
+        self, plan: CampaignPlan, arrays: JobArrays, native: bool, result: CampaignResult
+    ) -> None:
+        """Dispatch planned IR batches to the pool; merge replies in plan order.
+
+        Every payload carries the batch's slice of the IR plus the parent's
+        dispatch decision (``native``), so parent and workers take the same
+        fault-application path.  Batch lane words travel through one
+        shared-memory segment when possible (and per-job observed codes ride
+        back the same way for ``keep_outcomes`` runs); otherwise -- no
+        ``shared_memory`` support, segment creation failure, state codes
+        wider than one machine word, or ``use_shared_memory=False`` -- the
+        pickled wire format is used.  The segment is unlinked in ``finally``,
+        so worker exceptions cannot leak ``/dev/shm`` entries.
+        """
+        pool = self._ensure_pool()
+        payloads = [
+            ("ir", native, arrays.slice(batch.start, batch.stop)) for batch in plan.batches
+        ]
+        segment = self._plan_segment(plan, want_codes=self.keep_outcomes)
+        handles = segment.refs if segment is not None else list(plan.batches)
+        jobs = arrays.to_jobs(self._net_names()) if self.keep_outcomes else None
+        try:
+            tasks = list(zip(handles, payloads))
+            for batch, handle, reply in zip(
+                plan.batches, handles, pool.imap(_worker_run_batch, tasks)
+            ):
+                batch_jobs = jobs[batch.start : batch.stop] if jobs is not None else ()
+                counters, rows = reply
+                if self.keep_outcomes and rows is None and segment is not None:
+                    self._record_rows(
+                        batch_jobs,
+                        self._rows_from_codes(batch_jobs, segment.codes_for(handle)),
+                        result,
+                    )
+                else:
+                    self._merge_reply(batch_jobs, reply, result)
+        finally:
+            if segment is not None:
+                segment.close()
+
+    def _plan_segment(self, plan: CampaignPlan, want_codes: bool):
+        """The plan's shared segment, or ``None`` for the pickled format."""
+        if (
+            not self.use_shared_memory
+            or not shm_transport.available()
+            or (want_codes and len(self.structure.state_d) > 64)
+        ):
+            self.last_transport = "pickle"
+            return None
+        num_goldens = [len(batch.golden_contexts) for batch in plan.batches]
+        segment = shm_transport.PlanSegment.pack(plan.batches, num_goldens, want_codes)
+        self.last_transport = "shm" if segment is not None else "pickle"
+        return segment
+
+    def _rows_from_codes(
+        self, batch_jobs: Sequence[InjectionJob], codes: "np.ndarray"
+    ) -> List[_JobRow]:
+        """Rebuild per-job outcome rows from shared-memory code slots.
+
+        The parent applies the same memoised classifier the worker used, so
+        rebuilt rows are identical to pickled ones."""
+        rows: List[_JobRow] = []
+        for (index, _), code in zip(batch_jobs, codes.tolist()):
+            classification, observed_state = self._classify(index, self._golden_code(index), code)
+            rows.append((classification, code, observed_state))
+        return rows
+
+    def _execute_scalar_sharded(self, jobs: List[InjectionJob], result: CampaignResult) -> None:
+        """Shard scalar-oracle jobs into contiguous chunks across the pool."""
+        pool = self._ensure_pool()
+        specs = _job_specs(jobs)
+        chunk = max(1, -(-len(jobs) // (self.workers * 4)))
+        bounds = range(0, len(jobs), chunk)
+        chunks = [specs[i : i + chunk] for i in bounds]
+        for start, reply in zip(bounds, pool.imap(_worker_run_scalar, chunks)):
+            self._merge_reply(jobs[start : start + chunk], reply, result)
+
+    # ------------------------------------------------------------------
+    # Temporal (multi-cycle) execution
+    # ------------------------------------------------------------------
+    def _run_temporal_ir(
+        self, arrays: JobArrays, cycles: int, result: CampaignResult
+    ) -> None:
+        """Execute a lowered multi-cycle job stream: bounded traces per job.
+
+        Every job steps the compiled netlist ``cycles`` times with register
+        feedback (:meth:`~repro.netlist.parallel.CompiledNetlist.step_cycles`)
+        and is classified on its final state against the analytic fault-free
+        trajectory of its context.  Plans are shared with the single-cycle
+        paths -- the lane packing depends only on the job shape, never on the
+        trace length -- and sharded runs ship IR slices over the same
+        shared-memory (or pickled) transport.  The array-native path handles
+        arbitrary per-fault cycle annotations (transient shots, persistent
+        spots, mixed schedules) at any worker count.
+        """
+        self._validate_ir_cycles(arrays, cycles)
+        if self.engine == "scalar":
+            self.last_dispatch = "spec-stream"
+            jobs = arrays.to_jobs(self._net_names())
+            if self.workers > 1:
+                self._execute_temporal_scalar_sharded(cycles, jobs, result)
+            else:
+                self._record_rows(jobs, self._evaluate_temporal_scalar(cycles, jobs), result)
+            return
+        plan = self.plan_jobs(arrays.contexts.tolist())
+        native = self._use_array_native(arrays)
+        self.last_dispatch = "array-native" if native else "spec-stream"
+        if self.workers > 1:
+            self._execute_temporal_plan_sharded(plan, cycles, arrays, native, result)
+            return
+        if native:
+            for batch in plan.batches:
+                codes = self._evaluate_temporal_batch_arrays(
+                    batch, cycles, arrays.slice(batch.start, batch.stop)
+                )
+                counts = self._classified_counts_temporal(
+                    cycles, arrays.contexts[batch.start : batch.stop], codes
+                )
+                for classification, count in zip(_CLASSIFICATIONS, counts):
+                    if count:
+                        result.tally_bulk(classification, count)
+            return
+        jobs = arrays.to_jobs(self._net_names())
+        for batch in plan.batches:
+            batch_jobs = jobs[batch.start : batch.stop]
+            rows = self._evaluate_temporal_batch(batch, cycles, batch_jobs)
+            self._record_rows(batch_jobs, rows, result)
+
+    @staticmethod
+    def _validate_ir_cycles(arrays: JobArrays, cycles: int) -> None:
+        """Reject fault cycles outside the trace (mirrors the object path)."""
+        if arrays.cycles is None:
+            return
+        bad = (arrays.cycles != EVERY_CYCLE) & (
+            (arrays.cycles < 0) | (arrays.cycles >= cycles)
+        )
+        if bool(np.any(bad)):
+            cycle = int(arrays.cycles[np.argmax(bad)])
+            raise ValueError(f"fault cycle {cycle} outside the {cycles}-cycle trace")
+
+    def _cycle_fault_lanes(
+        self, batch_jobs: Sequence[InjectionJob], cycles: int, num_golden: int
+    ) -> List[List[Optional[FaultSet]]]:
+        """Per-cycle fault lane lists of one batch (golden lanes fault-free).
+
+        A fault with ``cycle=None`` is persistent (active every cycle);
+        otherwise it is active in its named cycle only.
+        """
+        per_cycle: List[List[Optional[FaultSet]]] = []
+        for cycle in range(cycles):
+            lanes: List[Optional[FaultSet]] = [None] * num_golden
+            for _, faults in batch_jobs:
+                active = [
+                    fault
+                    for fault in faults
+                    if fault.cycle is None or fault.cycle == cycle
+                ]
+                lanes.append(fault_set(active) if active else None)
+            per_cycle.append(lanes)
+        return per_cycle
+
+    def _evaluate_temporal_batch(
+        self, batch: PlannedBatch, cycles: int, batch_jobs: Sequence[InjectionJob]
+    ) -> List[_JobRow]:
+        """One multi-cycle pass over a planned batch: rows in job order.
+
+        Golden lanes are asserted against the analytic trajectory after the
+        final cycle; error/invalid states are sticky in the SCFI netlist, so
+        the final-state check subsumes the per-cycle ones.
+        """
+        num_golden = len(batch.golden_contexts)
+        cycle_lanes = self._cycle_fault_lanes(batch_jobs, cycles, num_golden)
+        if batch.input_words is None:
+            encoded, registers = self._context_vectors(batch.golden_contexts[0])
+            values = self.compiled.step_cycles(
+                encoded, cycle_lanes, registers=registers, use_source=self._use_source
+            )
+        else:
+            values = self.compiled.step_cycles(
+                batch.input_words,
+                cycle_lanes,
+                registers=batch.register_words,
+                lane_words=True,
+                use_source=self._use_source,
+            )
+        codes = values.read_words_by_id(self._state_d())
+        for lane, index in enumerate(batch.golden_contexts):
+            self._check_golden_temporal(index, cycles, codes[lane])
+        rows: List[_JobRow] = []
+        for lane, (index, _) in enumerate(batch_jobs, start=num_golden):
+            observed = codes[lane]
+            classification, observed_state = self._classify_temporal(index, cycles, observed)
+            rows.append((classification, observed, observed_state))
+        return rows
+
+    def _execute_temporal_plan_sharded(
+        self,
+        plan: CampaignPlan,
+        cycles: int,
+        arrays: JobArrays,
+        native: bool,
+        result: CampaignResult,
+    ) -> None:
+        """Dispatch temporal IR batches to the pool (shm or pickled transport)."""
+        pool = self._ensure_pool()
+        payloads = [
+            ("ir-temporal", native, cycles, arrays.slice(batch.start, batch.stop))
+            for batch in plan.batches
+        ]
+        segment = self._plan_segment(plan, want_codes=self.keep_outcomes)
+        handles = segment.refs if segment is not None else list(plan.batches)
+        jobs = arrays.to_jobs(self._net_names()) if self.keep_outcomes else None
+        try:
+            tasks = list(zip(handles, payloads))
+            for batch, handle, reply in zip(
+                plan.batches, handles, pool.imap(_worker_run_batch, tasks)
+            ):
+                batch_jobs = jobs[batch.start : batch.stop] if jobs is not None else ()
+                counters, rows = reply
+                if self.keep_outcomes and rows is None and segment is not None:
+                    self._record_rows(
+                        batch_jobs,
+                        self._temporal_rows_from_codes(
+                            cycles, batch_jobs, segment.codes_for(handle)
+                        ),
+                        result,
+                    )
+                else:
+                    self._merge_reply(batch_jobs, reply, result)
+        finally:
+            if segment is not None:
+                segment.close()
+
+    def _temporal_rows_from_codes(
+        self, cycles: int, batch_jobs: Sequence[InjectionJob], codes: "np.ndarray"
+    ) -> List[_JobRow]:
+        """Rebuild temporal outcome rows from shared-memory code slots."""
+        rows: List[_JobRow] = []
+        for (index, _), code in zip(batch_jobs, codes.tolist()):
+            classification, observed_state = self._classify_temporal(index, cycles, code)
+            rows.append((classification, code, observed_state))
+        return rows
+
+    def _execute_temporal_scalar_sharded(
+        self, cycles: int, jobs: List[InjectionJob], result: CampaignResult
+    ) -> None:
+        """Shard temporal scalar-oracle traces into contiguous chunks."""
+        pool = self._ensure_pool()
+        specs = _temporal_job_specs(jobs)
+        chunk = max(1, -(-len(jobs) // (self.workers * 4)))
+        bounds = range(0, len(jobs), chunk)
+        chunks = [(cycles, specs[i : i + chunk]) for i in bounds]
+        for start, reply in zip(bounds, pool.imap(_worker_run_temporal_scalar, chunks)):
+            self._merge_reply(jobs[start : start + chunk], reply, result)
+
+    def _evaluate_temporal_scalar(
+        self, cycles: int, jobs: Sequence[InjectionJob]
+    ) -> List[_JobRow]:
+        """Replay temporal jobs one trace at a time on the reference injector."""
+        rows: List[_JobRow] = []
+        for index, faults in jobs:
+            edge, inputs = self.contexts[index]
+            cycle_faults = [
+                tuple(
+                    fault
+                    for fault in faults
+                    if fault.cycle is None or fault.cycle == cycle
+                )
+                for cycle in range(cycles)
+            ]
+            observed = self.injector.trace_code(edge, inputs, cycle_faults)
+            classification, observed_state = self._classify_temporal(index, cycles, observed)
+            rows.append((classification, observed, observed_state))
+        return rows
+
+    def _evaluate_temporal_batch_arrays(
+        self, batch: PlannedBatch, cycles: int, arrays: JobArrays
+    ) -> "np.ndarray":
+        """One array-native multi-cycle pass (numpy engine): per-job codes.
+
+        ``arrays`` is the batch's IR slice; fault groups become grouped lanes
+        (every fault of job ``i`` lands on lane ``num_golden + i``), and the
+        per-fault cycle annotations select which faults are live in each
+        cycle of the trace -- transient shots, persistent spots and mixed
+        schedules all lower to the same per-cycle triples.  Runs identically
+        in the parent and in pool workers.
+        """
+        num_golden = len(batch.golden_contexts)
+        num_jobs = arrays.num_jobs
+        num_lanes = num_golden + num_jobs
+        lanes = (
+            num_golden + np.repeat(np.arange(num_jobs, dtype=np.intp), arrays.group_sizes())
+        ).astype(np.uint64)
+        if arrays.cycles is None:
+            # Every fault persistent: one triple serves every cycle.
+            cycle_faults = [(arrays.net_rows, lanes, arrays.modes)] * cycles
+        else:
+            cycle_faults = []
+            for cycle in range(cycles):
+                live = (arrays.cycles == EVERY_CYCLE) | (arrays.cycles == cycle)
+                cycle_faults.append(
+                    (arrays.net_rows[live], lanes[live], arrays.modes[live])
+                )
+        if batch.input_words is None:
+            encoded, registers = self._context_vectors(batch.golden_contexts[0])
+            values = self.compiled.step_cycles_fault_arrays(
+                encoded, cycle_faults, num_lanes, registers=registers
+            )
+        else:
+            values = self.compiled.step_cycles_fault_arrays(
+                batch.input_words,
+                cycle_faults,
+                num_lanes,
+                registers=batch.register_words,
+                lane_words=True,
+            )
+        codes = values.code_array_by_id(self._state_d())
+        for lane, index in enumerate(batch.golden_contexts):
+            self._check_golden_temporal(index, cycles, int(codes[lane]))
+        return codes[num_golden:]
+
+    def _classified_counts_temporal(
+        self, cycles: int, job_contexts: "np.ndarray", codes: "np.ndarray"
+    ) -> List[int]:
+        """Vectorised per-classification counts of one temporal batch."""
+        state_bits = len(self.structure.state_d)
+        keys = (job_contexts.astype(np.uint64) << np.uint64(state_bits)) | codes
+        unique, inverse = np.unique(keys, return_inverse=True)
+        code_mask = (1 << state_bits) - 1
+        class_index = np.empty(unique.size, dtype=np.intp)
+        for i, key in enumerate(unique.tolist()):
+            index = key >> state_bits
+            classification, _ = self._classify_temporal(index, cycles, key & code_mask)
+            class_index[i] = _CLASSIFICATION_INDEX[classification]
+        counts = np.bincount(class_index[inverse], minlength=len(_CLASSIFICATIONS))
+        return counts.tolist()
+
+    def _trajectory(self, index: int, cycles: int) -> List[Tuple[str, int]]:
+        """The analytic fault-free trajectory of one context, ``cycles`` deep.
+
+        Entry ``t`` is the (state, encoded code) the golden lane holds after
+        ``t`` clock edges with the context's activating inputs held constant;
+        entry 1 is the context edge's destination by construction, and later
+        entries follow :meth:`HardenedFsm.next_state` (stay edges / guard
+        priority included), which the netlist implements gate for gate.
+        """
+        trajectory = self._trajectories.get(index)
+        if trajectory is None:
+            edge, _ = self.contexts[index]
+            encoding = self.hardened.state_encoding
+            trajectory = [(edge.src, encoding[edge.src]), (edge.dst, encoding[edge.dst])]
+            self._trajectories[index] = trajectory
+        if len(trajectory) <= cycles:
+            _, inputs = self.contexts[index]
+            while len(trajectory) <= cycles:
+                step = self.hardened.next_state(trajectory[-1][0], inputs)
+                trajectory.append((step.next_state, step.next_code))
+        return trajectory
+
+    def _temporal_golden(self, index: int, cycles: int) -> Tuple[int, frozenset]:
+        """(analytic final code, CFG successors of the pre-final state)."""
+        trajectory = self._trajectory(index, cycles)
+        prev_state = trajectory[cycles - 1][0]
+        return trajectory[cycles][1], self._successors.get(prev_state, frozenset())
+
+    def _check_golden_temporal(self, index: int, cycles: int, observed: int) -> int:
+        """Assert one golden lane against the analytic trajectory code."""
+        golden, _ = self._temporal_golden(index, cycles)
+        if observed != golden:
+            edge, _ = self.contexts[index]
+            raise RuntimeError(
+                f"bit-parallel golden lane diverged after {cycles} cycles on edge "
+                f"{edge.src}->{edge.dst}: expected {golden:#x}, simulated {observed:#x}"
+            )
+        return golden
+
+    def _classify_temporal(
+        self, index: int, cycles: int, observed: int
+    ) -> Tuple[Classification, Optional[str]]:
+        """Classify one trace's final code (memoised per context/length/code)."""
+        key = (index, cycles, observed)
+        cached = self._classify_temporal_cache.get(key)
+        if cached is None:
+            golden, successors = self._temporal_golden(index, cycles)
+            observed_state = self.hardened.decode_state(observed)
+            classification = classify_observation(
+                golden,
+                observed,
+                observed_state,
+                error_states=self._error_states,
+                cfg_successors=successors,
+            )
+            cached = (classification, observed_state)
+            self._classify_temporal_cache[key] = cached
+        return cached
+
+    def _merge_reply(
+        self, jobs: Sequence[InjectionJob], reply: _BatchReply, result: CampaignResult
+    ) -> None:
+        """Fold one worker reply into the result, preserving job order.
+
+        Counters are merged as-is (the worker classified every job with the
+        same memoised rule the parent would apply); with ``keep_outcomes`` the
+        per-job rows are re-hydrated into :class:`FaultOutcome` records.
+        """
+        counters, rows = reply
+        if result.keep_outcomes:
+            if rows is None:
+                raise RuntimeError("worker returned no rows for a keep_outcomes campaign")
+            hydrated: List[_JobRow] = [
+                (_CLASSIFICATIONS[cls_index], observed, observed_state)
+                for cls_index, observed, observed_state in rows
+            ]
+            self._record_rows(jobs, hydrated, result)
+            return
+        for classification, count in zip(_CLASSIFICATIONS, counters):
+            if count:
+                result.tally_bulk(classification, count)
+
+    def _evaluate_scalar(self, jobs: Sequence[InjectionJob]) -> List[_JobRow]:
+        """Replay jobs one at a time on the reference injector."""
+        rows: List[_JobRow] = []
+        for index, faults in jobs:
+            edge, inputs = self.contexts[index]
+            golden = self.hardened.state_encoding[edge.dst]
+            observed = self.injector.next_code(edge, inputs, faults=faults)
+            classification, observed_state = self._classify(index, golden, observed)
+            rows.append((classification, observed, observed_state))
+        return rows
+
+    def _context_vectors(self, index: int) -> Tuple[Dict[str, int], Dict[str, int]]:
+        encoded = self._encoded_inputs.get(index)
+        if encoded is None:
+            edge, inputs = self.contexts[index]
+            encoded = self.structure.encode_inputs(dict(inputs))
+            state_code = self.hardened.state_encoding[edge.src]
+            self._encoded_inputs[index] = encoded
+            self._registers[index] = {
+                net: (state_code >> i) & 1 for i, net in enumerate(self.structure.state_q)
+            }
+        return encoded, self._registers[index]
+
+    def _context_ones(self, index: int) -> Tuple[List[str], List[str]]:
+        """The input/register nets that read 1 in one transition context."""
+        ones = self._ones.get(index)
+        if ones is None:
+            encoded, registers = self._context_vectors(index)
+            ones = (
+                [net for net, value in encoded.items() if value],
+                [net for net, value in registers.items() if value],
+            )
+            self._ones[index] = ones
+        return ones
+
+    def _state_d(self) -> List[int]:
+        """Dense net ids of the state-register D nets (resolved once)."""
+        if self._state_d_ids is None:
+            net_id = self.compiled.net_id
+            self._state_d_ids = [net_id[net] for net in self.structure.state_d]
+        return self._state_d_ids
+
+    def _golden_code(self, index: int) -> int:
+        """The analytic next-state code of one transition context."""
+        edge, _ = self.contexts[index]
+        return self.hardened.state_encoding[edge.dst]
+
+    def _check_golden(self, index: int, observed: int) -> int:
+        """Assert one golden lane against the analytic next-state code."""
+        golden = self._golden_code(index)
+        if observed != golden:
+            edge, _ = self.contexts[index]
+            raise RuntimeError(
+                f"bit-parallel golden lane diverged on edge {edge.src}->{edge.dst}: "
+                f"expected {golden:#x}, simulated {observed:#x}"
+            )
+        return golden
+
+    def _evaluate_batch(self, batch: PlannedBatch, jobs: Sequence[InjectionJob]) -> List[_JobRow]:
+        """One pass over the compiled netlist: goldens first, then job lanes.
+
+        Returns one row per job of the batch, in job order.  Runs identically
+        in the parent (``workers=1``) and in pool workers; the golden-lane
+        divergence check raises :class:`RuntimeError` from either side.
+        """
+        batch_jobs = jobs[batch.start : batch.stop]
+        num_golden = len(batch.golden_contexts)
+        fault_lanes: List[Optional[FaultSet]] = [None] * num_golden
+        fault_lanes.extend(fault_set(faults) for _, faults in batch_jobs)
+        codes, goldens = self._evaluate_batch_codes(batch, fault_lanes)
+        rows: List[_JobRow] = []
+        for lane, (index, _) in enumerate(batch_jobs, start=num_golden):
+            observed = codes[lane]
+            classification, observed_state = self._classify(index, goldens[index], observed)
+            rows.append((classification, observed, observed_state))
+        return rows
+
+    def _evaluate_batch_codes(
+        self, batch: PlannedBatch, fault_lanes: List[Optional[FaultSet]]
+    ) -> Tuple[List[int], Dict[int, int]]:
+        """Evaluate one planned batch: (per-lane codes, per-context goldens)."""
+        if batch.input_words is None:
+            # Single-context batch: broadcast the context vectors to all lanes.
+            encoded, registers = self._context_vectors(batch.golden_contexts[0])
+            values = self.compiled.evaluate(
+                encoded, fault_lanes=fault_lanes, registers=registers, use_source=self._use_source
+            )
+        else:
+            values = self.compiled.evaluate(
+                batch.input_words,
+                fault_lanes=fault_lanes,
+                registers=batch.register_words,
+                lane_words=True,
+                use_source=self._use_source,
+            )
+        codes = values.read_words_by_id(self._state_d())
+        goldens = {
+            index: self._check_golden(index, codes[lane])
+            for lane, index in enumerate(batch.golden_contexts)
+        }
+        return codes, goldens
+
+    def _evaluate_batch_arrays(
+        self, batch: PlannedBatch, arrays: JobArrays
+    ) -> "np.ndarray":
+        """One array-native pass (numpy engine): per-job observed codes.
+
+        ``arrays`` is the batch's IR slice; fault *groups* become grouped
+        lanes -- every fault of job ``i`` lands on lane ``num_golden + i``,
+        so a multi-net laser-spot group occupies a single fault lane, exactly
+        like ``FaultSet.apply`` on the object path.  Golden lanes are checked
+        against the analytic next state exactly like the generic path.
+        """
+        num_golden = len(batch.golden_contexts)
+        num_jobs = arrays.num_jobs
+        num_lanes = num_golden + num_jobs
+        lanes = (
+            num_golden + np.repeat(np.arange(num_jobs, dtype=np.intp), arrays.group_sizes())
+        ).astype(np.uint64)
+        if batch.input_words is None:
+            encoded, registers = self._context_vectors(batch.golden_contexts[0])
+            values = self.compiled.evaluate_fault_arrays(
+                encoded, arrays.net_rows, lanes, arrays.modes, num_lanes, registers=registers
+            )
+        else:
+            values = self.compiled.evaluate_fault_arrays(
+                batch.input_words,
+                arrays.net_rows,
+                lanes,
+                arrays.modes,
+                num_lanes,
+                registers=batch.register_words,
+                lane_words=True,
+            )
+        codes = values.code_array_by_id(self._state_d())
+        for lane, index in enumerate(batch.golden_contexts):
+            self._check_golden(index, int(codes[lane]))
+        return codes[num_golden:]
+
+    def _classified_counts(self, job_contexts: "np.ndarray", codes: "np.ndarray") -> List[int]:
+        """Per-classification counts of one batch, classified vectorially.
+
+        ``(context, code)`` pairs collapse into one uint64 key (the array
+        path only activates for sub-64-bit state codes), and only the unique
+        pairs go through the memoised scalar classifier.
+        """
+        state_bits = len(self.structure.state_d)
+        keys = (job_contexts.astype(np.uint64) << np.uint64(state_bits)) | codes
+        unique, inverse = np.unique(keys, return_inverse=True)
+        code_mask = (1 << state_bits) - 1
+        class_index = np.empty(unique.size, dtype=np.intp)
+        for i, key in enumerate(unique.tolist()):
+            index = key >> state_bits
+            classification, _ = self._classify(index, self._golden_code(index), key & code_mask)
+            class_index[i] = _CLASSIFICATION_INDEX[classification]
+        counts = np.bincount(class_index[inverse], minlength=len(_CLASSIFICATIONS))
+        return counts.tolist()
+
+    # ------------------------------------------------------------------
+    def _classify(self, index: int, golden: int, observed: int) -> Tuple[Classification, Optional[str]]:
+        # Classification only depends on (context, observed code): memoise it
+        # so dense campaigns do not re-derive the same verdict per injection.
+        key = (index, observed)
+        cached = self._classify_cache.get(key)
+        if cached is None:
+            edge, _ = self.contexts[index]
+            observed_state = self.hardened.decode_state(observed)
+            classification = classify_observation(
+                golden,
+                observed,
+                observed_state,
+                error_states=self._error_states,
+                cfg_successors=self._successors.get(edge.src, frozenset()),
+            )
+            cached = (classification, observed_state)
+            self._classify_cache[key] = cached
+        return cached
+
+    def _record_rows(
+        self, jobs: Sequence[InjectionJob], rows: Sequence[_JobRow], result: CampaignResult
+    ) -> None:
+        """Merge per-job rows into the result, preserving job order."""
+        if result.keep_outcomes:
+            for (index, faults), (classification, observed, observed_state) in zip(jobs, rows):
+                edge, _ = self.contexts[index]
+                result.record(
+                    FaultOutcome.of_faults(
+                        faults,
+                        source_state=edge.src,
+                        expected_state=edge.dst,
+                        observed_code=observed,
+                        observed_state=observed_state,
+                        classification=classification,
+                    )
+                )
+        else:
+            for classification, _, _ in rows:
+                result.tally(classification)
+

@@ -1,0 +1,108 @@
+"""Deterministic 2-D net placement for spatial fault models.
+
+A laser spot upsets a *neighbourhood* of physically adjacent nets, so the
+:class:`~repro.fi.scenarios.LaserSpot` scenario needs coordinates for every
+net of a protected netlist.  We do not run a real placer; instead we derive a
+deterministic floorplan from the structure the SCFI pass already committed to:
+
+* the **x axis** is the diffusion-block column -- the
+  :class:`~repro.core.layout.HardenedLayout` assigns every encoded state bit
+  and control bit to exactly one MDS block, and the block's internal XOR tree
+  is instantiated under a ``mds<k>`` net-name prefix, so state registers,
+  control nets and diffusion-internal nets all have a natural column; and
+* the **y axis** is combinational logic depth (the same per-net depth measure
+  :func:`repro.netlist.timing.logic_depth` maximises), i.e. the pipeline
+  stage the net occupies between the register outputs and the register
+  inputs.
+
+Nets without a structural column (input one-hot decoding, the match/alert
+tree, the output mux) are placed by a short, fixed-round force relaxation:
+each round moves every unanchored net to the mean position of the gates it
+touches.  The result is a plain ``{net: (x, y)}`` dict -- deterministic for a
+given netlist, with unit pitch on both axes so a ``spot_radius`` of 1.5
+covers a gate plus its immediate neighbour columns/stages.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+from repro.core.structure import ScfiNetlist
+
+#: Diffusion-internal nets carry the block index in their name prefix
+#: (``builder.gate(..., prefix=f"mds{block.index}")``).
+_MDS_PREFIX = re.compile(r"^mds(\d+)")
+
+#: Relaxation rounds for unanchored nets; fixed so placement is reproducible.
+_RELAX_ROUNDS = 8
+
+
+def net_placement(structure: ScfiNetlist) -> Dict[str, Tuple[float, float]]:
+    """Deterministic ``{net: (x, y)}`` coordinates for every net.
+
+    ``x`` is the diffusion-block column (anchored for state registers,
+    control nets and ``mds<k>`` diffusion nets, relaxed for everything
+    else); ``y`` is the combinational depth of the net.  Unit pitch on both
+    axes.
+    """
+    netlist = structure.netlist
+    layout = structure.hardened.layout
+
+    # y: per-net combinational depth (registers and inputs at depth 0).
+    depth: Dict[str, int] = {}
+    for net in netlist.primary_inputs:
+        depth[net] = 0
+    for flop in netlist.flops():
+        depth[flop.output] = 0
+    for gate in netlist.combinational_gates():
+        if gate.gate_type.is_constant:
+            depth[gate.output] = 0
+    for gate in netlist.topological_order():
+        if gate.gate_type.is_constant:
+            continue
+        depth[gate.output] = 1 + max((depth.get(n, 0) for n in gate.inputs), default=0)
+
+    # x anchors from the committed block assignment.
+    state_block: Dict[int, int] = {}
+    control_block: Dict[int, int] = {}
+    for block in layout.blocks:
+        for bit in block.state_in_bits:
+            state_block[bit] = block.index
+        for bit in block.control_in_bits:
+            control_block[bit] = block.index
+
+    anchors: Dict[str, float] = {}
+    for bit, net in enumerate(structure.state_q):
+        if bit in state_block:
+            anchors[net] = float(state_block[bit])
+    for bit, net in enumerate(structure.control_nets):
+        if bit in control_block:
+            anchors[net] = float(control_block[bit])
+    for net in depth:
+        match = _MDS_PREFIX.match(net)
+        if match is not None:
+            anchors[net] = float(int(match.group(1)))
+
+    # Fixed-round force relaxation for everything else: each unanchored net
+    # drifts to the mean position of the gates it touches.
+    x: Dict[str, float] = dict(anchors)
+    gates = [gate for gate in netlist.topological_order() if not gate.gate_type.is_constant]
+    for _ in range(_RELAX_ROUNDS):
+        proposals: Dict[str, Tuple[float, int]] = {}
+        for gate in gates:
+            pins = list(gate.inputs) + [gate.output]
+            placed = [x[net] for net in pins if net in x]
+            if not placed:
+                continue
+            center = sum(placed) / len(placed)
+            for net in pins:
+                if net in anchors:
+                    continue
+                total, count = proposals.get(net, (0.0, 0))
+                proposals[net] = (total + center, count + 1)
+        for net, (total, count) in proposals.items():
+            x[net] = total / count
+
+    default_x = (layout.num_blocks - 1) / 2.0
+    return {net: (x.get(net, default_x), float(d)) for net, d in depth.items()}

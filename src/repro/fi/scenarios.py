@@ -1,0 +1,669 @@
+"""Fault-campaign scenarios and the group-aware array job IR.
+
+A *scenario* enumerates injection jobs against one protected netlist:
+exhaustive single-fault sweeps (:class:`ExhaustiveSingleFault`), sampled
+multi-fault campaigns (:class:`RandomMultiFault`), bounded multi-cycle traces
+(:class:`TemporalSingleFault`, :class:`MultiShotGlitch`) and spatially
+adjacent laser spots (:class:`LaserSpot`).  Every scenario lowers to one
+common currency, the group-aware :class:`JobArrays` IR: CSR-style grouped
+arrays where ``group_offsets`` delimits each job's slice of the flat
+``net_rows``/``modes``/``cycles`` fault arrays.  The executor
+(:mod:`repro.fi.executor`) plans, batches and classifies the IR; the object
+:data:`InjectionJob` stream survives as a thin compatibility adapter over the
+IR (:meth:`JobArrays.to_jobs`), preserved for the scalar oracle and for
+outcome hydration.
+
+Scenarios with regular structure (:class:`ExhaustiveSingleFault` and its
+temporal subclass) synthesise their IR directly with ``repeat``/``tile`` --
+no per-job Python objects -- while irregular scenarios lower via
+:meth:`JobArrays.from_jobs`.  Either way the IR preserves scenario order
+exactly, so plans, batch boundaries and counters match the historical object
+stream bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.structure import ScfiNetlist
+from repro.fi.activate import activating_inputs
+from repro.fi.model import Fault, FaultEffect
+from repro.fi.placement import net_placement
+from repro.fsm.cfg import CfgEdge, control_flow_edges
+from repro.netlist.parallel_np import MODE_FLIP, MODE_STUCK0, MODE_STUCK1
+
+#: A job: (context index, faults injected together during that transition).
+InjectionJob = Tuple[int, Tuple[Fault, ...]]
+
+#: FaultEffect -> array-native fault mode of the numpy engine.
+_EFFECT_MODES = {
+    FaultEffect.TRANSIENT_FLIP: MODE_FLIP,
+    FaultEffect.STUCK_AT_0: MODE_STUCK0,
+    FaultEffect.STUCK_AT_1: MODE_STUCK1,
+}
+
+#: Inverse of :data:`_EFFECT_MODES` for replaying the IR as objects.
+_MODE_EFFECTS = {mode: effect for effect, mode in _EFFECT_MODES.items()}
+
+#: Sentinel in :attr:`JobArrays.cycles` for a fault active in every cycle.
+EVERY_CYCLE = -1
+
+
+def _require_effects(effects: Sequence[FaultEffect]) -> Tuple[FaultEffect, ...]:
+    """Normalise an ``effects`` sequence, rejecting the silent-zero-job case.
+
+    An empty tuple used to slip through construction and yield a campaign
+    that injected nothing; now every scenario rejects it up front.
+    """
+    resolved = tuple(FaultEffect(effect) for effect in effects)
+    if not resolved:
+        raise ValueError("effects must be non-empty")
+    return resolved
+
+
+@dataclass(frozen=True)
+class JobArrays:
+    """A job stream lowered to group-aware flat arrays (the campaign IR).
+
+    CSR layout: job ``i`` simulates transition context ``contexts[i]`` and
+    injects the fault group ``group_offsets[i]:group_offsets[i + 1]`` of the
+    flat per-fault arrays -- ``net_rows`` (dense net ids), ``modes``
+    (array-native fault modes :data:`~repro.netlist.parallel_np.MODE_FLIP` /
+    ``MODE_STUCK0`` / ``MODE_STUCK1``) and optionally ``cycles`` (the trace
+    cycle each fault is active in, :data:`EVERY_CYCLE` for persistent faults;
+    ``None`` when every fault of the stream is persistent/single-cycle).
+    ``num_cycles`` is the trace length the groups are classified over (1 for
+    combinational single-cycle campaigns).
+
+    Scenario order is preserved exactly, so plans, batch boundaries and
+    counters match the generic object stream bit for bit.
+    """
+
+    contexts: np.ndarray
+    group_offsets: np.ndarray
+    net_rows: np.ndarray
+    modes: np.ndarray
+    cycles: Optional[np.ndarray] = None
+    num_cycles: int = 1
+
+    @property
+    def num_jobs(self) -> int:
+        return self.contexts.size
+
+    @property
+    def num_faults(self) -> int:
+        return self.net_rows.size
+
+    def group_sizes(self) -> np.ndarray:
+        """Faults per job (``(num_jobs,)``)."""
+        return np.diff(self.group_offsets)
+
+    @classmethod
+    def single_fault(
+        cls,
+        contexts: np.ndarray,
+        net_rows: np.ndarray,
+        modes: np.ndarray,
+        cycles: Optional[np.ndarray] = None,
+        num_cycles: int = 1,
+    ) -> "JobArrays":
+        """IR for a one-fault-per-job stream (trivial ``arange`` offsets)."""
+        return cls(
+            contexts=contexts,
+            group_offsets=np.arange(contexts.size + 1, dtype=np.intp),
+            net_rows=net_rows,
+            modes=modes,
+            cycles=cycles,
+            num_cycles=num_cycles,
+        )
+
+    @classmethod
+    def from_jobs(
+        cls,
+        jobs: Sequence[InjectionJob],
+        net_id: Mapping[str, int],
+        num_cycles: int = 1,
+    ) -> "JobArrays":
+        """Lower an object job stream to the IR (total: every effect maps).
+
+        ``cycles`` is dropped to ``None`` when every fault is persistent
+        (``Fault.cycle is None``), so single-cycle scenarios keep the compact
+        three-array form.
+        """
+        contexts = np.empty(len(jobs), dtype=np.intp)
+        offsets = np.zeros(len(jobs) + 1, dtype=np.intp)
+        rows: List[int] = []
+        modes: List[int] = []
+        cycles: List[int] = []
+        any_cycle = False
+        for i, (index, faults) in enumerate(jobs):
+            contexts[i] = index
+            offsets[i + 1] = offsets[i] + len(faults)
+            for fault in faults:
+                rows.append(net_id[fault.net])
+                modes.append(_EFFECT_MODES[fault.effect])
+                if fault.cycle is None:
+                    cycles.append(EVERY_CYCLE)
+                else:
+                    if fault.cycle < 0:
+                        raise ValueError(
+                            f"fault cycle {fault.cycle} outside the "
+                            f"{num_cycles}-cycle trace"
+                        )
+                    cycles.append(fault.cycle)
+                    any_cycle = True
+        return cls(
+            contexts=contexts,
+            group_offsets=offsets,
+            net_rows=np.array(rows, dtype=np.intp),
+            modes=np.array(modes, dtype=np.uint8),
+            cycles=np.array(cycles, dtype=np.int64) if any_cycle else None,
+            num_cycles=num_cycles,
+        )
+
+    def to_jobs(self, net_names: Sequence[str]) -> List[InjectionJob]:
+        """Replay the IR as the equivalent object job stream.
+
+        ``net_names`` is the inverse of the ``net_id`` mapping used to lower
+        (``net_names[row] == net``).  The compatibility adapter for the
+        scalar oracle and for ``keep_outcomes`` hydration.
+        """
+        offsets = self.group_offsets
+        cycles = self.cycles
+        jobs: List[InjectionJob] = []
+        for i in range(self.num_jobs):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            faults = tuple(
+                Fault(
+                    net=net_names[int(self.net_rows[k])],
+                    effect=_MODE_EFFECTS[int(self.modes[k])],
+                    cycle=None
+                    if cycles is None or cycles[k] == EVERY_CYCLE
+                    else int(cycles[k]),
+                )
+                for k in range(lo, hi)
+            )
+            jobs.append((int(self.contexts[i]), faults))
+        return jobs
+
+    def slice(self, start: int, stop: int) -> "JobArrays":
+        """The IR of jobs ``[start, stop)`` (offsets re-based to zero).
+
+        Batches ship their slice of the IR to pool workers, so the flat
+        fault arrays are cut at the group boundaries the offsets name.
+        """
+        lo = int(self.group_offsets[start])
+        hi = int(self.group_offsets[stop])
+        return JobArrays(
+            contexts=self.contexts[start:stop],
+            group_offsets=self.group_offsets[start : stop + 1] - lo,
+            net_rows=self.net_rows[lo:hi],
+            modes=self.modes[lo:hi],
+            cycles=None if self.cycles is None else self.cycles[lo:hi],
+            num_cycles=self.num_cycles,
+        )
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+@dataclass
+class ExhaustiveSingleFault:
+    """Flip (or stick) every target net once per reachable transition.
+
+    ``target_nets`` may be an explicit net list, ``"diffusion"`` (the MDS
+    diffusion layer, the paper's Section 6.4 target, default) or ``"comb"``
+    (the whole combinational cloud -- previously too slow to run by default,
+    now a single bit-parallel sweep).
+    """
+
+    target_nets: object = None
+    effects: Sequence[FaultEffect] = (FaultEffect.TRANSIENT_FLIP,)
+    _resolved: object = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.target_nets is not None and not isinstance(self.target_nets, str):
+            self.target_nets = list(self.target_nets)
+        self.effects = _require_effects(self.effects)
+
+    def describe(self) -> str:
+        return "exhaustive single-fault"
+
+    def resolved_nets(self, campaign: "FaultCampaign") -> List[str]:
+        if self._resolved is not None and self._resolved[0] is campaign:
+            return self._resolved[1]
+        if self.target_nets is None or self.target_nets == "diffusion":
+            nets = campaign.injector.diffusion_nets()
+        elif self.target_nets == "comb":
+            nets = campaign.injector.all_comb_nets()
+        elif isinstance(self.target_nets, str):
+            raise ValueError(f"unknown target-net alias {self.target_nets!r}")
+        else:
+            nets = list(self.target_nets)
+            campaign.validate_target_nets(nets)
+        self._resolved = (campaign, nets)
+        return nets
+
+    def annotate(self, result: "CampaignResult", campaign: "FaultCampaign") -> None:
+        result.target_nets = len(self.resolved_nets(campaign))
+
+    def jobs(self, campaign: "FaultCampaign") -> Iterator[InjectionJob]:
+        nets = self.resolved_nets(campaign)
+        for index in range(len(campaign.contexts)):
+            for net in nets:
+                for effect in self.effects:
+                    yield index, (Fault(net=net, effect=effect),)
+
+    def _cross_product(self, campaign: "FaultCampaign") -> Tuple[np.ndarray, ...]:
+        """(contexts, net_rows, modes) of the (context x net x effect) grid."""
+        nets = self.resolved_nets(campaign)
+        net_id = campaign.net_index
+        net_ids = np.array([net_id[net] for net in nets], dtype=np.intp)
+        effect_modes = np.array(
+            [_EFFECT_MODES[effect] for effect in self.effects], dtype=np.uint8
+        )
+        num_contexts = len(campaign.contexts)
+        per_context = net_ids.size * effect_modes.size
+        return (
+            np.repeat(np.arange(num_contexts, dtype=np.intp), per_context),
+            np.tile(np.repeat(net_ids, effect_modes.size), num_contexts),
+            np.tile(effect_modes, num_contexts * net_ids.size),
+        )
+
+    def jobs_arrays(self, campaign: "FaultCampaign") -> JobArrays:
+        """The :meth:`jobs` stream as the array IR, in identical order.
+
+        The cross product (context x net x effect) is synthesised with
+        ``repeat``/``tile`` instead of one Python object pair per job, which
+        is what lets the numpy engine run wide campaigns without per-job
+        interpreter overhead.
+        """
+        contexts, net_rows, modes = self._cross_product(campaign)
+        return JobArrays.single_fault(contexts, net_rows, modes)
+
+
+@dataclass
+class RandomMultiFault:
+    """Inject ``num_faults`` simultaneous random faults, ``trials`` times.
+
+    The sampling sequence is seed-stable and engine-independent: trials are
+    drawn first (matching the historical scalar implementation draw for draw)
+    and only then regrouped by transition so the parallel engine can pack
+    them into lanes.  With the default single-effect tuple no extra random
+    draws happen, so legacy flip-only campaigns reproduce the historical
+    counters; passing several effects additionally draws one effect per
+    fault.
+
+    ``num_faults`` must not exceed the size of the target-net pool: silently
+    truncating the draw would run a weaker campaign than requested, so that
+    case raises :class:`ValueError` instead.
+    """
+
+    num_faults: int
+    trials: int
+    target_nets: object = None
+    seed: int = 0
+    effects: Sequence[FaultEffect] = (FaultEffect.TRANSIENT_FLIP,)
+    _resolved: object = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.target_nets is not None and not isinstance(self.target_nets, str):
+            self.target_nets = list(self.target_nets)
+        self.effects = _require_effects(self.effects)
+
+    def describe(self) -> str:
+        return f"random {self.num_faults}-fault"
+
+    def resolved_nets(self, campaign: "FaultCampaign") -> List[str]:
+        if self._resolved is not None and self._resolved[0] is campaign:
+            return self._resolved[1]
+        if self.target_nets is None or self.target_nets == "comb":
+            nets = campaign.injector.all_comb_nets()
+        elif self.target_nets == "diffusion":
+            nets = campaign.injector.diffusion_nets()
+        elif isinstance(self.target_nets, str):
+            raise ValueError(f"unknown target-net alias {self.target_nets!r}")
+        else:
+            nets = list(self.target_nets)
+            campaign.validate_target_nets(nets)
+        self._resolved = (campaign, nets)
+        return nets
+
+    def annotate(self, result: "CampaignResult", campaign: "FaultCampaign") -> None:
+        result.target_nets = len(self.resolved_nets(campaign))
+
+    def jobs(self, campaign: "FaultCampaign") -> Iterator[InjectionJob]:
+        if self.num_faults < 1:
+            raise ValueError("num_faults must be >= 1")
+        if not self.effects:
+            raise ValueError("effects must be non-empty")
+        if not campaign.contexts:
+            raise ValueError("the FSM has no reachable transitions")
+        nets = self.resolved_nets(campaign)
+        if self.num_faults > len(nets):
+            raise ValueError(
+                f"num_faults={self.num_faults} exceeds the {len(nets)} available "
+                f"target nets; a truncated draw would silently weaken the campaign"
+            )
+        rng = random.Random(self.seed)
+        drawn: List[InjectionJob] = []
+        for _ in range(self.trials):
+            index = rng.randrange(len(campaign.contexts))
+            chosen = rng.sample(nets, self.num_faults)
+            faults = tuple(
+                Fault(
+                    net=net,
+                    effect=self.effects[0]
+                    if len(self.effects) == 1
+                    else self.effects[rng.randrange(len(self.effects))],
+                )
+                for net in chosen
+            )
+            drawn.append((index, faults))
+        # Stable regroup by transition: lanes of one pass share the context.
+        drawn.sort(key=lambda job: job[0])
+        return iter(drawn)
+
+
+#: Durations a temporal single-fault scenario understands: ``"transient"``
+#: injects at one cycle only, ``"persistent"`` holds the fault for the whole
+#: trace (the classic stuck-at model of laser/glitch attacks).
+FAULT_DURATIONS = ("persistent", "transient")
+
+
+@dataclass
+class TemporalSingleFault(ExhaustiveSingleFault):
+    """Exhaustive single-fault sweep over bounded multi-cycle traces.
+
+    Every (transition context, target net, effect) triple becomes one cycle
+    trace of ``cycles`` clock edges with register feedback: the fault is
+    active either during ``inject_cycle`` only (``duration="transient"``) or
+    for the whole trace (``duration="persistent"``), and the trace is
+    classified on its final state against the analytic fault-free trajectory.
+    At ``cycles=1`` the counters coincide with :class:`ExhaustiveSingleFault`
+    bit for bit -- the single-cycle campaigns are the ``N=1`` special case of
+    this scenario.
+    """
+
+    cycles: int = 1
+    duration: str = "transient"
+    inject_cycle: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.cycles, int) or isinstance(self.cycles, bool) or self.cycles < 1:
+            raise ValueError("cycles must be an integer >= 1")
+        if self.duration not in FAULT_DURATIONS:
+            raise ValueError(
+                f"unknown fault duration {self.duration!r} (choose from {FAULT_DURATIONS})"
+            )
+        if not 0 <= self.inject_cycle < self.cycles:
+            raise ValueError(
+                f"inject_cycle {self.inject_cycle} outside the {self.cycles}-cycle trace"
+            )
+
+    def describe(self) -> str:
+        return f"temporal {self.duration} single-fault ({self.cycles} cycles)"
+
+    def active_cycles(self) -> Tuple[int, ...]:
+        """The trace cycles during which every job's fault is active."""
+        if self.duration == "persistent":
+            return tuple(range(self.cycles))
+        return (self.inject_cycle,)
+
+    def jobs(self, campaign: "FaultCampaign") -> Iterator[InjectionJob]:
+        nets = self.resolved_nets(campaign)
+        # ``cycle=None`` marks a fault active in every cycle of the trace.
+        cycle = None if self.duration == "persistent" else self.inject_cycle
+        for index in range(len(campaign.contexts)):
+            for net in nets:
+                for effect in self.effects:
+                    yield index, (Fault(net=net, effect=effect, cycle=cycle),)
+
+    def jobs_arrays(self, campaign: "FaultCampaign") -> JobArrays:
+        contexts, net_rows, modes = self._cross_product(campaign)
+        if self.duration == "persistent":
+            cycles = None
+        else:
+            cycles = np.full(net_rows.size, self.inject_cycle, dtype=np.int64)
+        return JobArrays.single_fault(
+            contexts, net_rows, modes, cycles=cycles, num_cycles=self.cycles
+        )
+
+
+@dataclass
+class MultiShotGlitch:
+    """One glitch schedule -- ``(cycle, net, effect)`` shots -- per context.
+
+    Models repeated/multi-shot injection equipment: every reachable
+    transition context runs one ``cycles``-long trace during which each shot
+    fires in its own cycle, and the final state is classified against the
+    analytic fault-free trajectory.  ``cycles`` defaults to just past the
+    last shot.
+    """
+
+    glitches: Sequence[Tuple[int, str, object]]
+    cycles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        shots = []
+        for cycle, net, effect in self.glitches:
+            if not isinstance(cycle, int) or isinstance(cycle, bool) or cycle < 0:
+                raise ValueError(f"glitch cycle {cycle!r} must be an integer >= 0")
+            shots.append((cycle, net, FaultEffect(effect)))
+        if not shots:
+            raise ValueError("a multi-shot glitch schedule needs at least one shot")
+        self.glitches = tuple(shots)
+        needed = max(cycle for cycle, _, _ in shots) + 1
+        if self.cycles is None:
+            self.cycles = needed
+        elif (
+            not isinstance(self.cycles, int)
+            or isinstance(self.cycles, bool)
+            or self.cycles < needed
+        ):
+            raise ValueError(
+                f"cycles={self.cycles!r} does not cover the last shot (needs >= {needed})"
+            )
+
+    def describe(self) -> str:
+        return f"multi-shot glitch ({len(self.glitches)} shots / {self.cycles} cycles)"
+
+    def annotate(self, result: "CampaignResult", campaign: "FaultCampaign") -> None:
+        campaign.validate_target_nets(net for _, net, _ in self.glitches)
+        result.target_nets = len({net for _, net, _ in self.glitches})
+
+    def jobs(self, campaign: "FaultCampaign") -> Iterator[InjectionJob]:
+        faults = tuple(
+            Fault(net=net, effect=effect, cycle=cycle)
+            for cycle, net, effect in self.glitches
+        )
+        for index in range(len(campaign.contexts)):
+            yield index, faults
+
+
+@dataclass
+class LaserSpot:
+    """Sampled laser-spot campaigns: multi-net fault groups by adjacency.
+
+    Models the paper's physical attacker -- a laser spot upsets every net
+    within ``spot_radius`` of a hit point, not a single wire.  Placement
+    comes from :func:`repro.fi.placement.net_placement` (diffusion-block
+    column x logic depth, unit pitch); each of the ``spot_trials`` trials
+    draws a transition context and a center net from the target pool, and
+    faults every pool net inside the spot circle (the center always included,
+    so every group has at least one fault).  Spots compose with the temporal
+    traces: ``cycles > 1`` holds the spot for the whole trace
+    (``duration="persistent"``, the default) or fires it in cycle 0 only
+    (``"transient"``).
+
+    Sampling is seed-stable: trials are drawn first in a fixed RNG sequence
+    and then regrouped by transition, exactly like :class:`RandomMultiFault`,
+    so counters are engine- and worker-count-independent.
+    """
+
+    spot_radius: float = 1.5
+    spot_trials: int = 100
+    target_nets: object = None
+    seed: int = 0
+    effects: Sequence[FaultEffect] = (FaultEffect.TRANSIENT_FLIP,)
+    cycles: int = 1
+    duration: str = "persistent"
+    _resolved: object = field(default=None, init=False, repr=False, compare=False)
+    _drawn: object = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.target_nets is not None and not isinstance(self.target_nets, str):
+            self.target_nets = list(self.target_nets)
+        self.effects = _require_effects(self.effects)
+        if (
+            isinstance(self.spot_radius, bool)
+            or not isinstance(self.spot_radius, (int, float))
+            or not self.spot_radius > 0
+        ):
+            raise ValueError("spot_radius must be a number > 0")
+        if (
+            not isinstance(self.spot_trials, int)
+            or isinstance(self.spot_trials, bool)
+            or self.spot_trials < 0
+        ):
+            raise ValueError("spot_trials must be an integer >= 0")
+        if not isinstance(self.cycles, int) or isinstance(self.cycles, bool) or self.cycles < 1:
+            raise ValueError("cycles must be an integer >= 1")
+        if self.duration not in FAULT_DURATIONS:
+            raise ValueError(
+                f"unknown fault duration {self.duration!r} (choose from {FAULT_DURATIONS})"
+            )
+
+    def describe(self) -> str:
+        return f"laser spot (r={self.spot_radius:g}, {self.spot_trials} trials)"
+
+    def resolved_nets(self, campaign: "FaultCampaign") -> List[str]:
+        if self._resolved is not None and self._resolved[0] is campaign:
+            return self._resolved[1]
+        if self.target_nets is None or self.target_nets == "comb":
+            nets = campaign.injector.all_comb_nets()
+        elif self.target_nets == "diffusion":
+            nets = campaign.injector.diffusion_nets()
+        elif isinstance(self.target_nets, str):
+            raise ValueError(f"unknown target-net alias {self.target_nets!r}")
+        else:
+            nets = list(self.target_nets)
+            campaign.validate_target_nets(nets)
+        self._resolved = (campaign, nets)
+        return nets
+
+    def annotate(self, result: "CampaignResult", campaign: "FaultCampaign") -> None:
+        result.target_nets = len(self.resolved_nets(campaign))
+
+    def _draw(self, campaign: "FaultCampaign") -> List[InjectionJob]:
+        if self._drawn is not None and self._drawn[0] is campaign:
+            return self._drawn[1]
+        if not campaign.contexts:
+            raise ValueError("the FSM has no reachable transitions")
+        nets = self.resolved_nets(campaign)
+        coords = net_placement(campaign.structure)
+        xs = np.array([coords[net][0] for net in nets])
+        ys = np.array([coords[net][1] for net in nets])
+        radius_sq = float(self.spot_radius) ** 2
+        # ``cycle=None`` marks a fault active in every cycle of the trace.
+        cycle = None if self.duration == "persistent" else 0
+        rng = random.Random(self.seed)
+        drawn: List[InjectionJob] = []
+        for _ in range(self.spot_trials):
+            index = rng.randrange(len(campaign.contexts))
+            center = rng.randrange(len(nets))
+            members = np.flatnonzero(
+                (xs - xs[center]) ** 2 + (ys - ys[center]) ** 2 <= radius_sq
+            )
+            faults = tuple(
+                Fault(
+                    net=nets[int(member)],
+                    effect=self.effects[0]
+                    if len(self.effects) == 1
+                    else self.effects[rng.randrange(len(self.effects))],
+                    cycle=cycle,
+                )
+                for member in members
+            )
+            drawn.append((index, faults))
+        # Stable regroup by transition: lanes of one pass share the context.
+        drawn.sort(key=lambda job: job[0])
+        self._drawn = (campaign, drawn)
+        return drawn
+
+    def jobs(self, campaign: "FaultCampaign") -> Iterator[InjectionJob]:
+        return iter(self._draw(campaign))
+
+
+def effect_sweep_scenarios(
+    effects: Sequence[FaultEffect] = (
+        FaultEffect.TRANSIENT_FLIP,
+        FaultEffect.STUCK_AT_0,
+        FaultEffect.STUCK_AT_1,
+    ),
+    target_nets: object = None,
+) -> Dict[str, ExhaustiveSingleFault]:
+    """One exhaustive scenario per fault effect (flip / stuck-at-0 / stuck-at-1)."""
+    return {
+        effect.value: ExhaustiveSingleFault(target_nets=target_nets, effects=(effect,))
+        for effect in effects
+    }
+
+
+def scfi_fault_regions(structure: ScfiNetlist) -> Dict[str, List[str]]:
+    """Named structural fault-target regions of one SCFI netlist.
+
+    Mirrors the behavioural target groups of :mod:`repro.fi.behavioral` at the
+    netlist level: FT1 state register outputs, FT2 encoded control inputs, FT3
+    both sides of the hardened function (selected control word feeding the
+    diffusion, and the diffusion-internal XOR nets).
+    """
+    netlist = structure.netlist
+
+    def non_constant(nets: Iterable[str]) -> List[str]:
+        kept = []
+        for net in sorted(set(nets)):
+            driver = netlist.driver_of(net)
+            if driver is not None and driver.gate_type.is_constant:
+                continue
+            kept.append(net)
+        return kept
+
+    encoded_inputs: List[str] = []
+    for nets in structure.input_bits.values():
+        encoded_inputs.extend(nets)
+    return {
+        "FT1_state": list(structure.state_q),
+        "FT2_control": sorted(encoded_inputs),
+        "FT3_phi_input": non_constant(structure.control_nets),
+        "FT3_diffusion": list(structure.diffusion_nets),
+    }
+
+
+def region_sweep_scenarios(
+    structure: ScfiNetlist,
+    effects: Sequence[FaultEffect] = (FaultEffect.TRANSIENT_FLIP,),
+    regions: Optional[Mapping[str, Sequence[str]]] = None,
+) -> Dict[str, ExhaustiveSingleFault]:
+    """Per-target-region exhaustive scenarios (FT1 / FT2 / FT3 sweeps)."""
+    regions = regions if regions is not None else scfi_fault_regions(structure)
+    return {
+        name: ExhaustiveSingleFault(target_nets=list(nets), effects=tuple(effects))
+        for name, nets in regions.items()
+    }
+
+
+def transition_contexts(structure: ScfiNetlist) -> List[Tuple[CfgEdge, Dict[str, int]]]:
+    """(edge, activating raw inputs) for every reachable CFG edge."""
+    fsm = structure.hardened.fsm
+    contexts = []
+    for edge in control_flow_edges(fsm):
+        inputs = activating_inputs(fsm, edge)
+        if inputs is not None:
+            contexts.append((edge, inputs))
+    return contexts

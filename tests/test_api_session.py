@@ -275,3 +275,44 @@ class TestRegistries:
     def test_register_engine_rejects_duplicates(self):
         with pytest.raises(ValueError, match="already registered"):
             register_engine("parallel", lambda *a, **k: None)
+
+
+class TestDispatchProvenance:
+    def test_dispatch_recorded_per_scenario(self):
+        result = Session().run(exhaustive_spec(engine="parallel-numpy"))
+        assert result.dispatch == {"exhaustive": "array-native"}
+        assert result.provenance()["dispatch"] == {"exhaustive": "array-native"}
+
+    def test_bignum_engine_reports_spec_stream(self):
+        result = Session().run(exhaustive_spec())
+        assert result.dispatch == {"exhaustive": "spec-stream"}
+
+    def test_cached_replay_reports_cached(self, tmp_path):
+        from repro.store import open_store
+
+        store = open_store(tmp_path / "cache")
+        spec = exhaustive_spec()
+        cold = Session(store=store).run(spec)
+        assert cold.dispatch == {"exhaustive": "spec-stream"}
+        warm = Session(store=store).run(spec)
+        assert warm.cache["campaign"]["status"] == "hit"
+        assert warm.dispatch == {"exhaustive": "cached"}
+
+    def test_behavioral_has_no_dispatch(self):
+        result = Session().run(
+            ExperimentSpec(
+                fsm=FsmSpec(name="traffic_light"),
+                campaign=CampaignSpec(scenario="behavioral", trials=50),
+            )
+        )
+        assert result.dispatch == {}
+        assert result.provenance()["dispatch"] is None
+
+    def test_laser_replays_golden_through_session(self):
+        spec = ExperimentSpec.load(EXAMPLES / "laser_experiment.json")
+        golden = json.load(open(EXAMPLES / "laser_experiment.golden.json"))
+        result = Session().run(spec)
+        assert result.spec_hash == golden["spec_hash"]
+        emitted = result.to_dict()["campaigns"]["laser"]
+        for key, value in golden["campaigns"]["laser"].items():
+            assert emitted[key] == value, key

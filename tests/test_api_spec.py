@@ -212,3 +212,75 @@ class TestTemporalSpecFields:
             CampaignSpec(lane_width=2.5)
         with pytest.raises(ValueError, match="lane_width must be an integer"):
             CampaignSpec(lane_width=True)
+
+
+class TestLaserSpecFields:
+    """The laser-spot fields: round-trip, hash stability, validation."""
+
+    def laser_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            fsm=FsmSpec(name="traffic_light"),
+            campaign=CampaignSpec(
+                scenario="laser",
+                spot_radius=2.0,
+                spot_trials=200,
+                cycles=2,
+                fault_duration="persistent",
+                lane_width=256,
+            ),
+        )
+
+    def test_laser_round_trip(self):
+        spec = self.laser_spec()
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.content_hash() == spec.content_hash()
+
+    def test_spot_fields_stay_out_of_the_wire_form_when_unset(self):
+        """Pre-laser specs must keep their content hashes: the spot fields
+        are omitted from to_dict when left at None."""
+        data = full_spec().to_dict()
+        assert "spot_radius" not in data["campaign"]
+        assert "spot_trials" not in data["campaign"]
+        assert ExperimentSpec.from_dict(data) == full_spec()
+
+    def test_committed_pre_laser_hashes_unchanged(self):
+        spec = ExperimentSpec.load("examples/experiment.json")
+        assert spec.content_hash() == (
+            "8e0e9a0a55c3b8bc15f66c466c480d5860e2a57bfff43cb5f3c7de1e572f0f5c"
+        )
+        temporal = ExperimentSpec.load("examples/temporal_experiment.json")
+        golden = json.load(open("examples/temporal_experiment.golden.json"))
+        assert temporal.content_hash() == golden["spec_hash"]
+
+    def test_committed_laser_spec_matches_golden_hash(self):
+        spec = ExperimentSpec.load("examples/laser_experiment.json")
+        golden = json.load(open("examples/laser_experiment.golden.json"))
+        assert spec.content_hash() == golden["spec_hash"]
+        assert spec.campaign.spot_radius == 2.0
+        assert spec.campaign.spot_trials == 200
+
+    def test_spot_bounds_validated(self):
+        with pytest.raises(ValueError, match="spot_radius"):
+            CampaignSpec(spot_radius=0)
+        with pytest.raises(ValueError, match="spot_radius"):
+            CampaignSpec(spot_radius=True)
+        with pytest.raises(ValueError, match="spot_trials"):
+            CampaignSpec(spot_trials=-1)
+        with pytest.raises(ValueError, match="spot_trials"):
+            CampaignSpec(spot_trials=True)
+        with pytest.raises(ValueError, match="spot_trials"):
+            CampaignSpec(spot_trials=2.5)
+
+    def test_spot_fields_rejected_outside_laser_mode(self, protected_traffic_light):
+        from repro.api.registry import build_scenarios
+
+        structure = protected_traffic_light.structure
+        for scenario in ("exhaustive", "random", "effects", "regions", "temporal"):
+            spec = CampaignSpec(
+                scenario=scenario,
+                spot_radius=1.5,
+                cycles=2 if scenario == "temporal" else 1,
+            )
+            with pytest.raises(ValueError, match="spot_radius/spot_trials"):
+                build_scenarios(spec, structure)
