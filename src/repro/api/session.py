@@ -68,6 +68,18 @@ from repro.synth.serialize import (
 #: or, replaying a memoised stage, ``("campaign", "cache hit 3f2a…")``.
 ProgressCallback = Callable[[str, str], None]
 
+#: Campaign-executor factory: ``(campaign_spec, structure, keep_outcomes,
+#: cache_scope) -> context-manager executor`` with the
+#: :class:`~repro.fi.orchestrator.FaultCampaign` ``run`` interface.
+#: ``cache_scope`` is the harden-stage input hash (``None`` without a store),
+#: which lets alternative executors -- the campaign service's persistent
+#: worker fleet keys its warm compiled netlists by exactly this hash -- know
+#: *which* hardened netlist they are executing against.  The default factory
+#: resolves through the engine registry (:func:`repro.api.registry.make_executor`),
+#: so the hook composes with :func:`repro.api.registry.register_engine` rather
+#: than replacing it.
+ExecutorFactory = Callable[[CampaignSpec, ScfiNetlist, bool, Optional[str]], Any]
+
 
 def _load_json_artifact(store: ArtifactStore, stage: str, key: str) -> Optional[Dict]:
     """Load + parse one JSON artifact; an unparsable payload is evicted and
@@ -197,9 +209,11 @@ class Session:
         self,
         progress: Optional[ProgressCallback] = None,
         store: Optional[ArtifactStore] = None,
+        executor_factory: Optional[ExecutorFactory] = None,
     ):
         self._progress = progress
         self.store = store
+        self._executor_factory = executor_factory
 
     def _emit(self, stage: str, detail: str = "") -> None:
         if self._progress is not None:
@@ -320,7 +334,15 @@ class Session:
                     return results
 
         results: Dict[str, CampaignResult] = {}
-        with make_executor(campaign, structure, keep_outcomes=report.keep_outcomes) as executor:
+        if self._executor_factory is not None:
+            executor_cm = self._executor_factory(
+                campaign, structure, report.keep_outcomes, cache_scope
+            )
+        else:
+            executor_cm = make_executor(
+                campaign, structure, keep_outcomes=report.keep_outcomes
+            )
+        with executor_cm as executor:
             # Custom registered engines may not speak the plan import/export
             # interface; plan persistence degrades gracefully for them.
             plans_cached = (

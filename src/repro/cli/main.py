@@ -10,10 +10,16 @@ variable) points the run at a persistent content-addressed artifact store
 (:mod:`repro.store`): each pipeline stage -- harden, plan, campaign, report --
 is memoised under its input hash, so an unchanged spec replays stored
 counters without compiling anything and a changed campaign reuses the cached
-hardened netlist.  ``scfi cache {ls,gc,clear}`` inspects and maintains that
-store.  The classic subcommands (``harden``, ``fi``, ``report``) delegate to
-their dedicated CLIs, so ``scfi harden --fsm uart_rx`` equals
-``scfi-harden --fsm uart_rx``.
+hardened netlist.  ``scfi cache {ls,gc,clear,export,import}`` inspects,
+maintains and ships that store (``export``/``import`` move it as a gzipped
+tarball whose entries re-verify their payload digests on the way in).
+
+``scfi serve`` runs the campaign service (:mod:`repro.service`) -- durable
+job queue, persistent worker fleet with warm compiled netlists, spec-hash
+result tier -- over the same store, and ``scfi submit``/``status``/``result``
+are the matching HTTP client commands.  The classic subcommands (``harden``,
+``fi``, ``report``) delegate to their dedicated CLIs, so
+``scfi harden --fsm uart_rx`` equals ``scfi-harden --fsm uart_rx``.
 """
 
 from __future__ import annotations
@@ -75,12 +81,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the progress/summary lines on stderr",
     )
 
-    cache = sub.add_parser("cache", help="inspect and maintain the artifact cache")
+    cache = sub.add_parser("cache", help="inspect, maintain and ship the artifact cache")
     cache.add_argument(
         "action",
-        choices=("ls", "gc", "clear"),
+        choices=("ls", "gc", "clear", "export", "import"),
         help="ls: list stored artifacts; gc: drop corrupt/expired entries and "
-        "leftover temp files; clear: remove every artifact",
+        "leftover temp files; clear: remove every artifact; export: write the "
+        "store to a gzipped tarball; import: merge a tarball into the store "
+        "(entries re-verify their payload SHA-256; corrupt members are "
+        "skipped with a warning)",
+    )
+    cache.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="export/import: the tarball path (required for those actions)",
     )
     cache.add_argument(
         "--cache-dir",
@@ -93,6 +108,57 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="gc: additionally expire artifacts older than this many days",
     )
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign service (job queue + worker fleet) over HTTP"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact store backing jobs, stage caches and the result tier "
+        "(defaults to $SCFI_CACHE_DIR; required)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 picks an ephemeral port)"
+    )
+    serve.add_argument(
+        "--fleet", type=int, default=2, help="number of persistent fleet workers"
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a SIGTERM waits for the in-flight job before marking it "
+        "failed-but-resumable",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress service log lines on stderr"
+    )
+
+    submit = sub.add_parser("submit", help="submit an experiment spec to a running service")
+    submit.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    status = sub.add_parser("status", help="query a submitted job's state and progress")
+    status.add_argument("job_id", help="job id returned by scfi submit")
+    result = sub.add_parser("result", help="fetch a finished job's result document")
+    result.add_argument("job_id", help="job id returned by scfi submit")
+    result.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes instead of failing while in flight",
+    )
+    result.add_argument(
+        "--timeout", type=float, default=300.0, help="--wait: give up after this many seconds"
+    )
+    result.add_argument(
+        "--out", default=None, help="write the result JSON here (atomically) instead of stdout"
+    )
+    for client_cmd in (submit, status, result):
+        client_cmd.add_argument(
+            "--server",
+            default=None,
+            help="service base URL (defaults to $SCFI_SERVER or http://127.0.0.1:8765)",
+        )
 
     for name, help_text in (
         ("harden", "protect an FSM (same flags as scfi-harden)"),
@@ -227,9 +293,139 @@ def _cache(args) -> int:
             + ", ".join(f"{name}={value}" for name, value in sorted(stats.items())),
             file=sys.stderr,
         )
+    elif args.action in ("export", "import"):
+        if not args.path:
+            print(f"scfi cache {args.action}: a tarball path is required", file=sys.stderr)
+            return 2
+        from repro.store import export_store, import_store
+
+        if args.action == "export":
+            stats = export_store(store, args.path)
+            print(
+                f"[scfi] exported {stats['exported']} artifact(s) "
+                f"({stats['bytes']} payload bytes) to {args.path}",
+                file=sys.stderr,
+            )
+        else:
+            try:
+                stats = import_store(
+                    store,
+                    args.path,
+                    warn=lambda msg: print(f"[scfi] warning: {msg}", file=sys.stderr),
+                )
+            except (OSError, ValueError) as error:
+                print(f"scfi cache import: {error}", file=sys.stderr)
+                return 2
+            print(
+                f"[scfi] imported {stats['imported']} artifact(s), "
+                f"skipped {stats['skipped']} from {args.path}",
+                file=sys.stderr,
+            )
     else:
         removed = store.clear()
         print(f"[scfi] cleared {removed} artifact(s) from {cache_dir}", file=sys.stderr)
+    return 0
+
+
+def _serve(args) -> int:
+    cache_dir = _resolve_cache_dir(args)
+    if not cache_dir:
+        print(
+            "scfi serve: the service needs a durable store "
+            "(pass --cache-dir or set SCFI_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        store = open_store(cache_dir)
+    except OSError as error:
+        print(f"scfi serve: cannot open cache {cache_dir!r}: {error}", file=sys.stderr)
+        return 2
+    if args.fleet < 1:
+        print("scfi serve: --fleet must be >= 1", file=sys.stderr)
+        return 2
+
+    from repro.service import serve as run_service
+
+    def log(event: str, detail: str) -> None:
+        if not args.quiet:
+            print(f"[scfi serve] {event}: {detail}", file=sys.stderr)
+
+    def ready(server) -> None:
+        # Printed on stdout (and flushed) so wrappers scripting an ephemeral
+        # --port 0 can read the bound address.
+        print(f"listening http://{args.host}:{server.server_address[1]}", flush=True)
+
+    try:
+        run_service(
+            store,
+            host=args.host,
+            port=args.port,
+            fleet_size=args.fleet,
+            drain_timeout=args.drain_timeout,
+            log=log,
+            ready=ready,
+        )
+    except OSError as error:
+        print(f"scfi serve: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _client(args):
+    from repro.service import ServiceClient
+
+    base = args.server or os.environ.get("SCFI_SERVER") or "http://127.0.0.1:8765"
+    return ServiceClient(base)
+
+
+def _submit(args) -> int:
+    from repro.service import ServiceError
+
+    try:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec_data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"scfi submit: cannot load spec {args.spec!r}: {error}", file=sys.stderr)
+        return 2
+    try:
+        reply = _client(args).submit(spec_data)
+    except (ServiceError, OSError) as error:
+        print(f"scfi submit: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
+def _status(args) -> int:
+    from repro.service import ServiceError
+
+    try:
+        reply = _client(args).status(args.job_id)
+    except (ServiceError, OSError) as error:
+        print(f"scfi status: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
+def _result(args) -> int:
+    from repro.service import ServiceError
+
+    client = _client(args)
+    try:
+        if args.wait:
+            document = client.wait(args.job_id, timeout=args.timeout)
+        else:
+            document = client.result(args.job_id)
+    except (ServiceError, OSError, TimeoutError) as error:
+        print(f"scfi result: {error}", file=sys.stderr)
+        return 1
+    payload = json.dumps(document, indent=2)
+    if args.out:
+        _write_atomic(args.out, payload + "\n")
+    else:
+        print(payload)
     return 0
 
 
@@ -242,9 +438,14 @@ def main(argv=None) -> int:
         delegate = importlib.import_module(_DELEGATES[argv[0]])
         return delegate.main(argv[1:])
     args = build_parser().parse_args(argv)
-    if args.command == "cache":
-        return _cache(args)
-    return _run(args)
+    handlers = {
+        "cache": _cache,
+        "serve": _serve,
+        "submit": _submit,
+        "status": _status,
+        "result": _result,
+    }
+    return handlers.get(args.command, _run)(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

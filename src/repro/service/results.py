@@ -1,0 +1,91 @@
+"""The service's result tier: finished experiments memoised by spec hash.
+
+The incremental pipeline (PR 8) memoises *stages* by their input hashes; the
+result tier adds the service-level index on top: one complete
+``ExperimentResult.to_dict()`` document per spec ``content_hash``, stored
+under the ``result`` stage of the same :class:`~repro.store.ArtifactStore`.
+A re-submitted spec is answered straight from here -- no job dispatch, no
+worker touched -- and because it lives in the store, a warm result tier
+survives restarts and ships between hosts with ``scfi cache export``.
+
+Every served document is stamped with **cache provenance** under a
+``"service"`` key: whether it came from the result tier (``"hit"``) or from
+a fresh computation, and which job produced it -- a memoised answer is always
+recognisable as one, never silently indistinguishable from fresh work.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.store import CODEC_JSON, ArtifactStore
+
+#: Store stage holding finished result documents, keyed by spec content_hash.
+RESULT_STAGE = "result"
+
+#: ``service.result_tier`` values: a memoised answer vs a fresh computation.
+RESULT_TIER_HIT = "hit"
+RESULT_TIER_COMPUTED = "computed"
+
+
+class ResultTier:
+    """Spec-hash -> finished-result memo over the artifact store."""
+
+    def __init__(self, store: ArtifactStore) -> None:
+        self.store = store
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        """The memoised result document for ``spec_hash``, or ``None``.
+
+        Byte-level corruption is already a store-level miss; an unparsable
+        payload is evicted here the same way, so the tier degrades to a
+        recompute, never to a wrong answer.
+        """
+        artifact = self.store.load(RESULT_STAGE, spec_hash)
+        if artifact is None:
+            self.misses += 1
+            return None
+        try:
+            doc = json.loads(artifact.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            doc = None
+        if not isinstance(doc, dict):
+            self.store.delete(RESULT_STAGE, spec_hash)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc
+
+    def put(self, spec_hash: str, doc: Dict[str, Any]) -> None:
+        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.store.save(RESULT_STAGE, spec_hash, payload, CODEC_JSON)
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return self.store.load(RESULT_STAGE, spec_hash) is not None
+
+
+def stamp_provenance(
+    doc: Dict[str, Any],
+    *,
+    result_tier: str,
+    job_id: str,
+    spec_hash: str,
+    coalesced: bool = False,
+) -> Dict[str, Any]:
+    """A copy of ``doc`` carrying the service's cache provenance.
+
+    ``result_tier`` is :data:`RESULT_TIER_HIT` when the answer was memoised
+    (no worker dispatched for this submission) and
+    :data:`RESULT_TIER_COMPUTED` when this job ran the pipeline.
+    """
+    stamped = dict(doc)
+    stamped["service"] = {
+        "result_tier": result_tier,
+        "job_id": job_id,
+        "spec_hash": spec_hash,
+        "coalesced": coalesced,
+    }
+    return stamped

@@ -1,0 +1,359 @@
+"""Scheduler and composition root of the campaign service.
+
+The :class:`Scheduler` is a single background thread that pulls jobs off the
+durable :class:`~repro.service.jobs.JobQueue` and executes each one through
+the ordinary staged :class:`~repro.api.session.Session` pipeline -- the same
+harden/plan/campaign/report chain ``scfi run`` uses, against the same store
+-- with one substitution: the campaign executor is a
+:class:`~repro.service.worker.FleetCampaign` bound to the persistent worker
+fleet, keyed by the job's harden-stage hash so repeat netlists hit warm
+compiled state.  Per-stage session progress and per-batch fleet progress
+stream into the job record (persisted, so ``GET /jobs/<id>`` survives
+restarts mid-run).
+
+A fully warm spec never touches the fleet at all: the session's campaign
+stage hits the store before the executor factory is even called, and a spec
+already in the :class:`~repro.service.results.ResultTier` is answered at
+submit time without creating any scheduler work.
+
+:class:`CampaignService` wires queue + fleet + scheduler + result tier over
+one store and is what the HTTP frontend and the tests drive.  Shutdown is
+graceful and deterministic: stop accepting, drain the in-flight job up to a
+timeout, then cancel it -- marking it ``failed`` with ``resumable=True`` so
+the next server re-queues it -- and close every fleet worker.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.api.session import Session
+from repro.api.spec import CampaignSpec, ExperimentSpec
+from repro.core.structure import ScfiNetlist
+from repro.service.jobs import (
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_PLANNING,
+    STATE_RUNNING,
+    Job,
+    JobQueue,
+    new_nonce,
+)
+from repro.service.results import (
+    RESULT_TIER_COMPUTED,
+    RESULT_TIER_HIT,
+    ResultTier,
+    stamp_provenance,
+)
+from repro.service.worker import FleetCampaign, ServiceShutdown, WorkerFleet
+from repro.store import ArtifactStore
+
+#: Optional service-level logger: ``(event, detail)`` pairs.
+ServiceLog = Callable[[str, str], None]
+
+
+class Scheduler:
+    """One worker thread turning queued jobs into memoised results."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        queue: JobQueue,
+        results: ResultTier,
+        fleet: WorkerFleet,
+        *,
+        log: Optional[ServiceLog] = None,
+    ) -> None:
+        self.store = store
+        self.queue = queue
+        self.results = results
+        self.fleet = fleet
+        self._log = log
+        self._stop = threading.Event()
+        self._cancel = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._current_job: Optional[Job] = None
+        self._anon_scope = 0
+        self.jobs_executed = 0
+        self.jobs_failed = 0
+
+    def _emit(self, event: str, detail: str = "") -> None:
+        if self._log is not None:
+            self._log(event, detail)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("scheduler already started")
+        self._thread = threading.Thread(
+            target=self._run_forever, name="scfi-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, drain_timeout: float = 30.0) -> None:
+        """Stop the loop: drain the in-flight job, then cancel if it overruns.
+
+        The cancel event aborts fleet collection between batches
+        (:class:`~repro.service.worker.ServiceShutdown`), which the execute
+        path turns into a ``failed`` + ``resumable`` job record -- recovery
+        re-queues it on the next start.
+        """
+        self._stop.set()
+        thread = self._thread
+        if thread is None:
+            return
+        thread.join(drain_timeout)
+        if thread.is_alive():
+            self._cancel.set()
+            thread.join(drain_timeout)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- the loop --------------------------------------------------------
+
+    def _run_forever(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.next_job(timeout=0.2)
+            if job is None:
+                continue
+            self._current_job = job
+            try:
+                self._execute(job)
+            finally:
+                self._current_job = None
+
+    def _execute(self, job: Job) -> None:
+        self.queue.transition(job, STATE_PLANNING)
+        self._emit("job", f"{job.job_id[:12]} planning")
+        try:
+            spec = ExperimentSpec.from_dict(job.spec)
+            result = Session(
+                progress=self._session_progress(job),
+                store=self.store,
+                executor_factory=self._executor_factory(job),
+            ).run(spec)
+            doc = result.to_dict()
+        except ServiceShutdown:
+            self.queue.transition(
+                job,
+                STATE_FAILED,
+                error="interrupted by service shutdown",
+                resumable=True,
+            )
+            self._emit("job", f"{job.job_id[:12]} drained (resumable)")
+            return
+        except Exception as error:  # noqa: BLE001 - job-level isolation
+            self.jobs_failed += 1
+            self.queue.transition(
+                job,
+                STATE_FAILED,
+                error=f"{type(error).__name__}: {error}",
+            )
+            self._emit(
+                "job",
+                f"{job.job_id[:12]} failed: {traceback.format_exc(limit=3)}",
+            )
+            return
+        self.results.put(job.spec_hash, doc)
+        cache = doc.get("cache") or {}
+        job.progress["cache"] = {
+            stage: record.get("status") for stage, record in cache.items()
+        }
+        self.queue.transition(job, STATE_DONE, result_source=RESULT_TIER_COMPUTED)
+        self.jobs_executed += 1
+        self._emit("job", f"{job.job_id[:12]} done")
+
+    # -- session wiring ---------------------------------------------------
+
+    def _session_progress(self, job: Job):
+        def progress(stage: str, detail: str) -> None:
+            job.progress["stage"] = stage
+            job.progress["detail"] = detail
+            # Stage transitions are worth a durable write; per-batch progress
+            # below persists on its own cadence.
+            self.queue.persist(job)
+
+        return progress
+
+    def _executor_factory(self, job: Job):
+        """An executor factory binding this job to the fleet.
+
+        Only called by the session on a campaign-stage *miss* -- warm specs
+        never construct an executor, which is what makes "answered without
+        touching a worker" literally true.
+        """
+
+        def factory(
+            campaign: CampaignSpec,
+            structure: ScfiNetlist,
+            keep_outcomes: bool,
+            cache_scope: Optional[str],
+        ) -> FleetCampaign:
+            if cache_scope is None:
+                # No harden hash (e.g. the --compare oracle replay, which is
+                # deliberately uncached): give the config a unique scope so it
+                # can never alias another netlist's warm executor.
+                self._anon_scope += 1
+                cache_scope = f"{'0' * 56}{self._anon_scope:08x}"
+
+            def batch_progress(done: int, total: int) -> None:
+                if job.state != STATE_RUNNING:
+                    self.queue.transition(job, STATE_RUNNING, persist=False)
+                job.progress["batches_done"] = done
+                job.progress["batches_total"] = total
+                self.queue.persist(job)
+
+            return FleetCampaign(
+                self.fleet,
+                cache_scope,
+                structure,
+                engine=campaign.engine,
+                lane_width=campaign.lane_width,
+                keep_outcomes=keep_outcomes,
+                pack_contexts=campaign.pack_contexts,
+                batch_progress=batch_progress,
+                cancel=self._cancel,
+            )
+
+        return factory
+
+
+class CampaignService:
+    """Queue + fleet + scheduler + result tier over one artifact store.
+
+    The front door the HTTP server (and tests) drive:
+
+    * :meth:`submit` -- single-flight submission with result-tier short
+      circuit; returns ``(job, status)`` where status is ``"queued"``,
+      ``"coalesced"`` (an identical spec is already in flight) or
+      ``"cached"`` (answered from the memoised result tier, no dispatch).
+    * :meth:`job_status` / :meth:`job_result` -- job record and stamped
+      result document.
+    * :meth:`health` -- liveness plus queue/fleet/result-tier counters.
+
+    Construction does not start anything; :meth:`start` recovers persisted
+    jobs and launches the scheduler, :meth:`close` shuts the whole thing
+    down gracefully.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        *,
+        fleet_size: int = 2,
+        log: Optional[ServiceLog] = None,
+    ) -> None:
+        self.store = store
+        self.queue = JobQueue(store)
+        self.results = ResultTier(store)
+        self.fleet = WorkerFleet(fleet_size)
+        self.scheduler = Scheduler(store, self.queue, self.results, self.fleet, log=log)
+        self._log = log
+        self._submit_lock = threading.Lock()
+        self.recovered: Dict[str, int] = {}
+
+    def _emit(self, event: str, detail: str = "") -> None:
+        if self._log is not None:
+            self._log(event, detail)
+
+    def start(self) -> "CampaignService":
+        self.recovered = self.queue.recover()
+        if self.recovered.get("requeued"):
+            self._emit(
+                "recover",
+                f"{self.recovered['requeued']} interrupted job(s) re-queued "
+                f"({self.recovered['loaded']} records loaded)",
+            )
+        self.scheduler.start()
+        return self
+
+    def close(self, drain_timeout: float = 30.0) -> None:
+        self.scheduler.stop(drain_timeout)
+        self.fleet.close()
+
+    def __enter__(self) -> "CampaignService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submissions ------------------------------------------------------
+
+    def submit(self, spec_data: Dict[str, Any]) -> Tuple[Job, str]:
+        """Submit one spec document; raises ``ValueError`` on a bad spec."""
+        spec = ExperimentSpec.from_dict(spec_data)
+        spec_hash = spec.content_hash()
+        spec_doc = spec.to_dict()
+        with self._submit_lock:
+            # Result tier first: an already-computed spec never creates work.
+            if self.results.get(spec_hash) is not None:
+                job = Job(
+                    spec_hash=spec_hash,
+                    nonce=new_nonce(),
+                    spec=spec_doc,
+                    state=STATE_DONE,
+                    result_source=RESULT_TIER_HIT,
+                )
+                self.queue.record(job)
+                self._emit("submit", f"{job.job_id[:12]} result-tier hit")
+                return job, "cached"
+            job, coalesced = self.queue.submit(spec_hash, spec_doc)
+        if coalesced:
+            self._emit("submit", f"{job.job_id[:12]} coalesced (single-flight)")
+            return job, "coalesced"
+        self._emit("submit", f"{job.job_id[:12]} queued")
+        return job, "queued"
+
+    # -- queries ----------------------------------------------------------
+
+    def job_status(self, job_id: str) -> Optional[Dict[str, Any]]:
+        job = self.queue.get(job_id)
+        if job is None:
+            return None
+        doc = job.to_dict()
+        # The full spec can be large (inline Verilog); status replies carry
+        # the identity, not the body.
+        doc.pop("spec", None)
+        return doc
+
+    def job_result(self, job_id: str) -> Tuple[Optional[Dict[str, Any]], str]:
+        """``(document, state)`` for one job's result.
+
+        ``document`` is the provenance-stamped result when the job is done,
+        ``None`` otherwise (state tells the caller whether to keep polling,
+        report failure, or 404).
+        """
+        job = self.queue.get(job_id)
+        if job is None:
+            return None, "unknown"
+        if job.state != STATE_DONE:
+            return None, job.state
+        doc = self.results.get(job.spec_hash)
+        if doc is None:  # store lost the result between done and fetch
+            return None, "missing"
+        return (
+            stamp_provenance(
+                doc,
+                result_tier=job.result_source or RESULT_TIER_COMPUTED,
+                job_id=job.job_id,
+                spec_hash=job.spec_hash,
+            ),
+            STATE_DONE,
+        )
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok" if self.scheduler.running else "stopped",
+            "jobs": self.queue.counts(),
+            "pending": self.queue.pending_count(),
+            "fleet": self.fleet.stats(),
+            "result_tier": {"hits": self.results.hits, "misses": self.results.misses},
+            "jobs_executed": self.scheduler.jobs_executed,
+            "jobs_failed": self.scheduler.jobs_failed,
+        }

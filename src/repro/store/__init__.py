@@ -22,6 +22,7 @@ from repro.store.base import (
     validate_address,
 )
 from repro.store.filestore import FileStore
+from repro.store.transfer import export_store, import_store
 
 
 def open_store(cache_dir) -> ArtifactStore:
@@ -41,6 +42,8 @@ __all__ = [
     "decode_artifact",
     "decode_header",
     "encode_artifact",
+    "export_store",
+    "import_store",
     "open_store",
     "payload_sha256",
     "validate_address",

@@ -65,9 +65,16 @@ class FileStore:
         return self.root / stage / key[:2] / key
 
     def _atomic_write(self, path: Path, blob: bytes) -> None:
+        # The temp name carries the writer's pid on top of mkstemp's random
+        # suffix: concurrent processes saving the same key can never collide
+        # on a temp file, and each one's os.replace lands a complete envelope
+        # -- last writer wins, readers see one version or the other, never a
+        # torn mix (pinned by tests/test_store.py's multi-writer stress).
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=path.name + ".", suffix=_TMP_SUFFIX
+            dir=str(path.parent),
+            prefix=f"{path.name}.{os.getpid()}.",
+            suffix=_TMP_SUFFIX,
         )
         try:
             with os.fdopen(fd, "wb") as handle:

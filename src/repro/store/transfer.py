@@ -1,0 +1,143 @@
+"""Ship a warm artifact store between hosts as a tar archive.
+
+``export_store`` packs every artifact of an :class:`~repro.store.base.ArtifactStore`
+into a tarball, one member per artifact named ``<stage>/<key>``, each member
+holding the complete self-verifying envelope (header line + payload) with its
+original creation time.  ``import_store`` is the inverse: every member is
+decoded and re-verified -- the payload SHA-256 is recomputed, the address in
+the header must match the member name -- before it is saved into the target
+store.  A corrupt, truncated or mis-addressed member is *skipped with a
+warning*, never imported: shipping a cache can cost a recompute, but it can
+never plant a wrong result.
+
+This is the seed of the campaign service's shared result tier: a host that
+has computed a spec matrix exports its store, another host imports it, and
+``scfi serve`` (or ``scfi run --cache-dir``) answers those specs from the
+warm stages without executing anything.  Surfaced as ``scfi cache export
+<tar>`` / ``scfi cache import <tar>``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tarfile
+import tempfile
+from typing import Callable, Dict, Optional
+
+from repro.store.base import (
+    Artifact,
+    ArtifactIntegrityError,
+    ArtifactStore,
+    decode_artifact,
+    encode_artifact,
+    validate_address,
+)
+
+#: Called once per skipped member with a human-readable reason.
+WarnCallback = Callable[[str], None]
+
+
+def export_store(store: ArtifactStore, tar_path) -> Dict[str, int]:
+    """Pack every artifact of ``store`` into a tar archive at ``tar_path``.
+
+    Entries that fail their own integrity re-verification on load (the store
+    evicts them as a side effect) are counted as ``skipped`` rather than
+    exported -- the archive only ever carries envelopes that verified at pack
+    time.  The archive is written via a same-directory temp file +
+    ``os.replace``, so an interrupted export never leaves a truncated tar
+    under the target name.  Returns ``{"exported": n, "skipped": n,
+    "bytes": total payload bytes}``.
+    """
+    stats = {"exported": 0, "skipped": 0, "bytes": 0}
+    directory = os.path.dirname(os.path.abspath(tar_path)) or "."
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(tar_path) + f".{os.getpid()}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            with tarfile.open(fileobj=handle, mode="w:gz") as archive:
+                for entry in list(store.entries()):
+                    artifact = store.load(entry.stage, entry.key)
+                    if artifact is None:
+                        stats["skipped"] += 1
+                        continue
+                    blob = encode_artifact(
+                        artifact.stage,
+                        artifact.key,
+                        artifact.payload,
+                        artifact.codec,
+                        created=artifact.created,
+                    )
+                    info = tarfile.TarInfo(name=f"{artifact.stage}/{artifact.key}")
+                    info.size = len(blob)
+                    info.mtime = int(artifact.created)
+                    archive.addfile(info, io.BytesIO(blob))
+                    stats["exported"] += 1
+                    stats["bytes"] += artifact.size
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, tar_path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return stats
+
+
+def _verified_member(
+    name: str, blob: bytes, warn: Optional[WarnCallback]
+) -> Optional[Artifact]:
+    """Decode one tar member into a verified artifact, or warn and skip."""
+
+    def skip(reason: str) -> None:
+        if warn is not None:
+            warn(f"skipping {name!r}: {reason}")
+
+    parts = name.strip("/").split("/")
+    if len(parts) != 2:
+        skip("member name is not <stage>/<key>")
+        return None
+    stage, key = parts
+    try:
+        validate_address(stage, key)
+    except ValueError as error:
+        skip(str(error))
+        return None
+    try:
+        # decode_artifact recomputes the payload SHA-256 and checks that the
+        # envelope's own address matches the member name, so a bit-flipped or
+        # mis-filed member can never enter the store.
+        return decode_artifact(blob, expect_stage=stage, expect_key=key)
+    except ArtifactIntegrityError as error:
+        skip(str(error))
+        return None
+
+
+def import_store(
+    store: ArtifactStore, tar_path, warn: Optional[WarnCallback] = None
+) -> Dict[str, int]:
+    """Import every verifiable member of ``tar_path`` into ``store``.
+
+    Corrupt members are reported through ``warn`` and skipped -- the import
+    always completes with whatever verified.  Returns ``{"imported": n,
+    "skipped": n, "bytes": total payload bytes}``.
+    """
+    stats = {"imported": 0, "skipped": 0, "bytes": 0}
+    with tarfile.open(tar_path, mode="r:*") as archive:
+        for member in archive:
+            if not member.isfile():
+                continue
+            handle = archive.extractfile(member)
+            if handle is None:  # pragma: no cover - isfile() filtered already
+                continue
+            artifact = _verified_member(member.name, handle.read(), warn)
+            if artifact is None:
+                stats["skipped"] += 1
+                continue
+            store.save(artifact.stage, artifact.key, artifact.payload, artifact.codec)
+            stats["imported"] += 1
+            stats["bytes"] += artifact.size
+    return stats

@@ -316,3 +316,57 @@ class TestDispatchProvenance:
         emitted = result.to_dict()["campaigns"]["laser"]
         for key, value in golden["campaigns"]["laser"].items():
             assert emitted[key] == value, key
+
+
+class TestExecutorFactory:
+    """The injectable campaign-executor seam the campaign service plugs into."""
+
+    def _spec(self):
+        return ExperimentSpec(
+            fsm=FsmSpec(name="traffic_light"),
+            campaign=CampaignSpec(scenario="effects", trials=20, seed=3),
+        )
+
+    def test_factory_receives_spec_structure_and_scope(self, tmp_path):
+        from repro.api.registry import make_executor
+        from repro.store import open_store
+
+        calls = []
+
+        def factory(campaign, structure, keep_outcomes, cache_scope):
+            calls.append((campaign, structure, keep_outcomes, cache_scope))
+            return make_executor(campaign, structure, keep_outcomes=keep_outcomes)
+
+        store = open_store(tmp_path / "cache")
+        session = Session(store=store, executor_factory=factory)
+        spec = self._spec()
+        baseline = Session().run(spec)
+        result = session.run(spec)
+        assert result.to_dict()["campaigns"] == baseline.to_dict()["campaigns"]
+        assert len(calls) == 1
+        campaign, structure, keep_outcomes, cache_scope = calls[0]
+        assert campaign.scenario == "effects"
+        assert structure.netlist.name.startswith("traffic_light")
+        assert keep_outcomes is False
+        # The scope is the harden-stage input hash -- the key the service's
+        # fleet uses to reuse warm compiled netlists.
+        assert cache_scope == spec.stage_hashes()["harden"]
+
+    def test_warm_campaign_stage_never_calls_the_factory(self, tmp_path):
+        from repro.store import open_store
+
+        store = open_store(tmp_path / "cache")
+        spec = self._spec()
+        Session(store=store).run(spec)  # populate every stage
+
+        def exploding_factory(campaign, structure, keep_outcomes, cache_scope):
+            raise AssertionError("factory must not run on a campaign-stage hit")
+
+        warm = Session(store=store, executor_factory=exploding_factory).run(spec)
+        assert warm.cache["campaign"]["status"] == "hit"
+
+    def test_factory_absent_resolves_through_engine_registry(self):
+        # No factory: the default path must keep composing with
+        # register_engine (pinned elsewhere); here just check it still runs.
+        result = Session().run(self._spec())
+        assert result.to_dict()["campaigns"]

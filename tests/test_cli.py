@@ -344,3 +344,40 @@ class TestScfiCacheCli:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "no cache directory" in captured.err
+
+
+class TestServiceCli:
+    """Argument validation of the service subcommands (the end-to-end serve
+    path is pinned in tests/test_service_shutdown.py)."""
+
+    def test_serve_requires_a_cache_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("SCFI_CACHE_DIR", raising=False)
+        assert scfi_main(["serve"]) == 2
+        assert "durable store" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_fleet(self, capsys, tmp_path):
+        rc = scfi_main(["serve", "--cache-dir", str(tmp_path / "c"), "--fleet", "0"])
+        assert rc == 2
+        assert "--fleet must be >= 1" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_fails_cleanly(self, capsys):
+        rc = scfi_main(
+            ["submit", str(EXAMPLE_SPEC), "--server", "http://127.0.0.1:1"]
+        )
+        assert rc == 1
+        assert "scfi submit:" in capsys.readouterr().err
+
+    def test_status_unreachable_server_fails_cleanly(self, capsys):
+        rc = scfi_main(["status", "0" * 72, "--server", "http://127.0.0.1:1"])
+        assert rc == 1
+        assert "scfi status:" in capsys.readouterr().err
+
+    def test_result_unreachable_server_fails_cleanly(self, capsys):
+        rc = scfi_main(["result", "0" * 72, "--server", "http://127.0.0.1:1"])
+        assert rc == 1
+        assert "scfi result:" in capsys.readouterr().err
+
+    def test_submit_missing_spec_file(self, capsys, tmp_path):
+        rc = scfi_main(["submit", str(tmp_path / "absent.json")])
+        assert rc == 2
+        assert "cannot load spec" in capsys.readouterr().err

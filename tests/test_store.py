@@ -233,3 +233,69 @@ class TestFileStore:
         store.save("harden", KEY, b"x", "pickle")
         assert [a.stage for a in store.entries()] == ["harden"]
         assert store.gc()["kept"] == 1
+
+
+def _stress_writer(root, key, writer_id, rounds):
+    """One competing writer: repeatedly save distinct payloads to one key."""
+    store = FileStore(root)
+    for round_no in range(rounds):
+        payload = bytes([writer_id]) * 2048 + f":{writer_id}:{round_no}".encode()
+        store.save("harden", key, payload, "pickle")
+
+
+class TestFileStoreMultiWriter:
+    """Concurrent writers against one FileStore (the scfi serve scenario).
+
+    Atomic same-directory replace plus per-writer temp names (the pid is in
+    the mkstemp prefix) mean a reader can only ever observe some writer's
+    *complete* envelope -- never a torn mix -- and no temp files survive.
+    """
+
+    def test_concurrent_writers_never_tear_a_read(self, tmp_path):
+        import multiprocessing
+
+        root = tmp_path / "cache"
+        store = FileStore(root)
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        writers = [
+            context.Process(target=_stress_writer, args=(root, KEY, writer_id, 25))
+            for writer_id in range(4)
+        ]
+        for process in writers:
+            process.start()
+        observed = 0
+        try:
+            # Read concurrently with the writers; every successful load must
+            # be one writer's complete payload (leader byte repeated 2048x).
+            while any(process.is_alive() for process in writers):
+                artifact = store.load("harden", KEY)
+                if artifact is not None:
+                    observed += 1
+                    leader = artifact.payload[0]
+                    assert leader in range(4)
+                    assert artifact.payload[:2048] == bytes([leader]) * 2048
+        finally:
+            for process in writers:
+                process.join(30)
+        assert all(process.exitcode == 0 for process in writers)
+        final = store.load("harden", KEY)
+        assert final is not None and final.payload[:2048] == bytes([final.payload[0]]) * 2048
+        assert list(root.rglob("*.tmp")) == []
+
+    def test_tempfile_names_are_writer_unique(self, tmp_path, monkeypatch):
+        """The mkstemp prefix embeds the pid, so two processes interrupted
+        mid-write can never race on one temp name."""
+        import repro.store.filestore as filestore_module
+
+        seen = {}
+        real_mkstemp = filestore_module.tempfile.mkstemp
+
+        def spying_mkstemp(*args, **kwargs):
+            seen.update(kwargs)
+            return real_mkstemp(*args, **kwargs)
+
+        monkeypatch.setattr(filestore_module.tempfile, "mkstemp", spying_mkstemp)
+        FileStore(tmp_path / "cache").save("harden", KEY, b"x", "pickle")
+        assert f".{os.getpid()}." in seen["prefix"]
